@@ -1,0 +1,54 @@
+// Ablation of lambda (Eq. 4): the weight of the hardware-cost loss in the
+// alpha update controls the score-vs-efficiency trade-off of the co-search.
+// Sweeps lambda and reports the derived architecture's MACs, predicted FPS
+// and test score after a short retrain — the knob downstream users tune.
+//
+// Expected shape: larger lambda -> cheaper architectures (fewer MACs, higher
+// FPS) at gradually lower scores; extreme lambda collapses to skips.
+#include "arcade/games.h"
+#include "bench_common.h"
+#include "core/pipeline.h"
+
+using namespace a3cs;
+
+int main() {
+  bench::banner("Ablation", "lambda sweep: score vs hardware-cost trade-off");
+  const std::string game = "Catch";
+  const std::int64_t search_frames = util::scaled_steps(8000);
+  const std::int64_t train_frames = util::scaled_steps(8000);
+
+  auto teacher = bench::bench_teacher(game);
+  util::TextTable table(
+      {"lambda", "architecture", "MACs", "FPS", "test score"});
+  util::CsvWriter csv(std::cout,
+                      {"lambda", "arch", "macs", "fps", "test_score"});
+
+  for (const double lambda : {0.0, 0.02, 0.1, 0.5, 5.0}) {
+    auto cfg = bench::bench_cosearch(game, 91);
+    cfg.lambda = lambda;
+    core::CoSearchEngine engine(game, cfg, teacher.get());
+    const auto searched = engine.run(search_frames);
+
+    auto trained = core::train_derived_agent(game, searched.arch,
+                                             cfg.supernet.space, train_frames,
+                                             cfg.a2c, teacher.get(), 910);
+    const double score =
+        rl::evaluate_agent(*trained.net, game, bench::bench_eval()).mean_score;
+    das::DasConfig das_cfg;
+    const auto hw = core::search_accelerator(trained.specs, 4, das_cfg);
+
+    table.add_row({util::TextTable::num(lambda, 2),
+                   searched.arch.to_string(),
+                   std::to_string(nn::network_macs(trained.specs)),
+                   util::TextTable::num(hw.fps),
+                   util::TextTable::num(score)});
+    csv.row({util::TextTable::num(lambda, 2), searched.arch.to_string(),
+             std::to_string(nn::network_macs(trained.specs)),
+             util::TextTable::num(hw.fps), util::TextTable::num(score)});
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: MACs fall / FPS rises as lambda grows.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation of the multi-path backward (paper Eq. 7, "K in (1, N) to control
+// the computational cost"): runs the distilled one-level agent search with
+// K = 1, 2, 4, 8 activated backward paths and reports the derived-network
+// score and the search wall-time.
+//
+// Expected shape: K = 1 (pure single-path gradient) is noisier/weaker;
+// moderate K recovers most of the quality at a fraction of K = N's cost.
+#include <chrono>
+
+#include "arcade/games.h"
+#include "bench_common.h"
+#include "core/cosearch.h"
+#include "rl/eval.h"
+
+using namespace a3cs;
+
+int main() {
+  bench::banner("Ablation", "multi-path backward width K (Eq. 7)");
+  const std::string game = "Catch";
+  const std::int64_t frames = util::scaled_steps(8000);
+
+  auto teacher = bench::bench_teacher(game);
+  util::TextTable table({"K", "derived score", "search seconds"});
+  util::CsvWriter csv(std::cout, {"k", "derived_score", "seconds"});
+
+  for (const int k : {1, 2, 4, 8}) {
+    auto cfg = bench::bench_cosearch(game, 81);
+    cfg.hardware_aware = false;
+    cfg.supernet.backward_paths = k;
+    core::CoSearchEngine engine(game, cfg, teacher.get());
+    const auto start = std::chrono::steady_clock::now();
+    engine.run(frames);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    engine.supernet().set_argmax_mode(true);
+    const double score =
+        rl::evaluate_agent(engine.net(), game, bench::bench_eval()).mean_score;
+    engine.supernet().set_argmax_mode(false);
+
+    table.add_row({std::to_string(k), util::TextTable::num(score),
+                   util::TextTable::num(seconds, 1)});
+    csv.row({std::to_string(k), util::TextTable::num(score),
+             util::TextTable::num(seconds, 1)});
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 3 reproduction: score-vs-FPS trade-off on four games for
+//   (1) ResNet-14 on a DAS-searched accelerator          (SOTA agent + DAS)
+//   (2) A3C-S searched agent on a DAS-searched accelerator (full A3C-S)
+//   (3) A3C-S searched agent on the DNNBuilder accelerator (SOTA accel)
+// all trained with AC-distillation, all under the same 900-DSP budget.
+//
+// Paper shape to verify: (2) dominates (1) on FPS at comparable score, and
+// (2) beats (3) on FPS for the same network — i.e. both the searched agent
+// and the searched accelerator contribute.
+#include "accel/dnnbuilder.h"
+#include "arcade/games.h"
+#include "bench_common.h"
+#include "core/pipeline.h"
+
+using namespace a3cs;
+
+int main() {
+  bench::banner("Fig. 3", "score/FPS: A3C-S vs ResNet-14+DAS vs DNNBuilder");
+  const std::int64_t search_frames = util::scaled_steps(10000);
+  const std::int64_t train_frames = util::scaled_steps(10000);
+
+  util::CsvWriter csv(std::cout, {"game", "setup", "test_score", "fps"});
+  util::TextTable table({"Game", "R14+DAS score", "R14+DAS FPS",
+                         "A3C-S score", "A3C-S FPS", "A3C-S+DNNB FPS"});
+
+  accel::Predictor predictor;
+  int a3cs_fps_wins = 0, das_beats_dnnb = 0;
+  for (const auto& game : arcade::figure_games()) {
+    auto teacher = bench::bench_teacher(game);
+
+    // --- (1) ResNet-14 trained with AC-distillation + DAS accelerator ----
+    const auto a2c = bench::bench_a2c(rl::paper_distill_coefficients(), 61);
+    auto r14 = core::train_zoo_agent_on_game(game, "ResNet-14", train_frames,
+                                             a2c, teacher.get(), 611);
+    const double r14_score =
+        rl::evaluate_agent(*r14.net, game, bench::bench_eval()).mean_score;
+    das::DasConfig das_cfg;
+    const auto r14_hw = core::search_accelerator(r14.specs, 4, das_cfg);
+
+    // --- (2) full A3C-S: co-search, retrain, DAS ------------------------
+    core::PipelineConfig pipe;
+    pipe.cosearch = bench::bench_cosearch(game, 62);
+    pipe.search_frames = search_frames;
+    pipe.train_frames = train_frames;
+    pipe.eval = bench::bench_eval();
+    const auto a3cs = core::run_a3cs_pipeline(game, pipe, teacher.get());
+
+    // --- (3) the A3C-S agent on the DNNBuilder baseline accelerator ------
+    const auto dnnb = accel::dnnbuilder_eval(a3cs.specs, predictor);
+
+    csv.row({game, "ResNet-14+DAS", util::TextTable::num(r14_score),
+             util::TextTable::num(r14_hw.fps)});
+    csv.row({game, "A3C-S+DAS", util::TextTable::num(a3cs.test_score),
+             util::TextTable::num(a3cs.hw.fps)});
+    csv.row({game, "A3C-S+DNNBuilder", util::TextTable::num(a3cs.test_score),
+             util::TextTable::num(dnnb.fps)});
+
+    table.add_row({game, util::TextTable::num(r14_score),
+                   util::TextTable::num(r14_hw.fps),
+                   util::TextTable::num(a3cs.test_score),
+                   util::TextTable::num(a3cs.hw.fps),
+                   util::TextTable::num(dnnb.fps)});
+    if (a3cs.hw.fps > r14_hw.fps) ++a3cs_fps_wins;
+    if (a3cs.hw.fps > dnnb.fps) ++das_beats_dnnb;
+    std::cout << "  [" << game << "] A3C-S arch: " << a3cs.arch.to_string()
+              << " (" << nn::network_macs(a3cs.specs) << " MACs vs ResNet-14 "
+              << nn::network_macs(r14.specs) << ")\n";
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nShape summary: A3C-S FPS > ResNet-14+DAS FPS on "
+            << a3cs_fps_wins << "/" << arcade::figure_games().size()
+            << " games; DAS accel > DNNBuilder accel on " << das_beats_dnnb
+            << "/" << arcade::figure_games().size()
+            << " games (paper: both on all games).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Micro-benchmarks (google-benchmark) for the analytical predictor and the
+// DAS sampling step — the paper's pitch that differentiable search is cheap
+// rests on these being orders of magnitude faster than RL-based search.
+#include <benchmark/benchmark.h>
+
+#include "accel/dnnbuilder.h"
+#include "accel/predictor.h"
+#include "accel/space.h"
+#include "das/das.h"
+#include "nn/zoo.h"
+
+using namespace a3cs;
+
+namespace {
+
+const std::vector<nn::LayerSpec>& r14_specs() {
+  static const auto specs =
+      nn::zoo_model_specs("ResNet-14", nn::ObsSpec{3, 12, 12}, 4);
+  return specs;
+}
+
+void BM_PredictorEvaluate(benchmark::State& state) {
+  accel::Predictor pred;
+  accel::AcceleratorSpace space(static_cast<int>(state.range(0)),
+                                nn::num_groups(r14_specs()));
+  util::Rng rng(1);
+  const auto cfg = space.decode(space.random_choices(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.evaluate(r14_specs(), cfg));
+  }
+}
+BENCHMARK(BM_PredictorEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SpaceDecode(benchmark::State& state) {
+  accel::AcceleratorSpace space(4, nn::num_groups(r14_specs()));
+  util::Rng rng(2);
+  const auto choices = space.random_choices(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.decode(choices));
+  }
+}
+BENCHMARK(BM_SpaceDecode);
+
+void BM_DasStep(benchmark::State& state) {
+  accel::Predictor pred;
+  accel::AcceleratorSpace space(4, nn::num_groups(r14_specs()));
+  das::DasConfig cfg;
+  cfg.samples_per_iter = static_cast<int>(state.range(0));
+  das::DasEngine engine(space, pred, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(r14_specs(), 1));
+  }
+}
+BENCHMARK(BM_DasStep)->Arg(1)->Arg(4);
+
+void BM_DnnBuilderConfig(benchmark::State& state) {
+  accel::Predictor pred;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel::dnnbuilder_config(r14_specs(), pred.budget()));
+  }
+}
+BENCHMARK(BM_DnnBuilderConfig);
+
+}  // namespace
+
+BENCHMARK_MAIN();

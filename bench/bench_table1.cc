@@ -1,0 +1,59 @@
+// Table I reproduction: final test scores of the five backbones (Vanilla,
+// ResNet-14/20/38/74) on the paper's 16-game subset.
+//
+// Paper shape to verify: (1) ResNets beat Vanilla on most games; (2) there
+// is a task-specific optimal size — ResNet-74 rarely wins and often loses to
+// ResNet-20/38 within the fixed budget.
+#include "arcade/games.h"
+#include "arcade/vec_env.h"
+#include "bench_common.h"
+#include "nn/zoo.h"
+
+using namespace a3cs;
+
+int main() {
+  bench::banner("Table I", "test scores of 5 backbones on 16 Atari-like games");
+  const std::int64_t frames = util::scaled_steps(7000);
+
+  util::TextTable table({"Atari Games", "Vanilla", "ResNet-14", "ResNet-20",
+                         "ResNet-38", "ResNet-74"});
+  util::CsvWriter csv(std::cout, {"game", "model", "test_score"});
+
+  int resnet_beats_vanilla = 0, r74_wins = 0, games_count = 0;
+  for (const auto& game : arcade::table1_games()) {
+    std::vector<std::string> row = {game};
+    std::vector<double> scores;
+    for (const auto& model : nn::zoo_model_names()) {
+      auto probe = arcade::make_game(game, 1);
+      util::Rng rng(23);
+      auto agent = nn::build_zoo_agent(model, probe->obs_spec(),
+                                       probe->num_actions(), rng);
+      arcade::VecEnv envs(game, 16, 2000);
+      const auto cfg = bench::bench_a2c(rl::no_distill_coefficients(), 7);
+      rl::A2cTrainer trainer(*agent.net, envs, cfg, nullptr);
+      trainer.train(frames);
+      const double score =
+          rl::evaluate_agent(*agent.net, game, bench::bench_eval()).mean_score;
+      scores.push_back(score);
+      row.push_back(util::TextTable::num(score));
+      csv.row({game, model, util::TextTable::num(score)});
+    }
+    table.add_row(row);
+    ++games_count;
+    const double best_resnet =
+        std::max({scores[1], scores[2], scores[3], scores[4]});
+    if (best_resnet > scores[0]) ++resnet_beats_vanilla;
+    if (scores[4] >= *std::max_element(scores.begin(), scores.end()) - 1e-9) {
+      ++r74_wins;
+    }
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nShape summary: a ResNet beats Vanilla on "
+            << resnet_beats_vanilla << "/" << games_count
+            << " games; ResNet-74 is the single best on " << r74_wins << "/"
+            << games_count
+            << " (paper: larger helps, but the largest rarely wins).\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Machine-readable (de)serialization of AcceleratorConfig, so searched
+// designs can be stored, diffed and re-evaluated without re-running DAS.
+//
+// Format (one key=value token per field, ';' between chunks):
+//   chunks=2;alloc=0,1,1,0;
+//   chunk=8x16,noc=1,df=0,toc=16,tic=8,split=0.50:0.30:0.20;
+//   chunk=...
+// `AcceleratorConfig::to_string()` stays the human-oriented pretty-printer;
+// this is the stable round-trip format.
+#pragma once
+
+#include <string>
+
+#include "accel/hw_types.h"
+
+namespace a3cs::accel {
+
+std::string encode_config(const AcceleratorConfig& config);
+
+// Throws std::runtime_error on malformed input.
+AcceleratorConfig decode_config(const std::string& encoded);
+
+// Convenience file helpers.
+void save_config(const std::string& path, const AcceleratorConfig& config);
+AcceleratorConfig load_config(const std::string& path);
+
+}  // namespace a3cs::accel

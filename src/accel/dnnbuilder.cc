@@ -1,0 +1,88 @@
+#include "accel/dnnbuilder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace a3cs::accel {
+namespace {
+
+// Picks the PE-array dimension pair whose product is closest to (but not
+// above) `target_pes`, preferring squarish arrays.
+void size_pe_array(int target_pes, int* rows, int* cols) {
+  static const int kDims[] = {1, 2, 4, 6, 8, 12, 16, 24, 32};
+  int best_r = 1, best_c = 1, best_pes = 1;
+  double best_aspect = 1e9;
+  for (int r : kDims) {
+    for (int c : kDims) {
+      const int pes = r * c;
+      if (pes > target_pes) continue;
+      const double aspect =
+          std::abs(std::log(static_cast<double>(r) / c));
+      if (pes > best_pes || (pes == best_pes && aspect < best_aspect)) {
+        best_pes = pes;
+        best_r = r;
+        best_c = c;
+        best_aspect = aspect;
+      }
+    }
+  }
+  *rows = best_r;
+  *cols = best_c;
+}
+
+}  // namespace
+
+AcceleratorConfig dnnbuilder_config(const std::vector<nn::LayerSpec>& specs,
+                                    const FpgaBudget& budget,
+                                    const DnnBuilderOptions& opts) {
+  A3CS_CHECK(!specs.empty(), "dnnbuilder_config: empty network");
+  const int groups = nn::num_groups(specs);
+  const int stages = std::min(groups, opts.max_stages);
+
+  // MACs per stage (groups folded round-robin when capped).
+  std::vector<double> stage_macs(static_cast<std::size_t>(stages), 0.0);
+  std::vector<int> group_to_stage(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    group_to_stage[static_cast<std::size_t>(g)] = g % stages;
+  }
+  for (const auto& s : specs) {
+    stage_macs[static_cast<std::size_t>(
+        group_to_stage[static_cast<std::size_t>(s.group)])] +=
+        static_cast<double>(s.macs());
+  }
+
+  double total_macs = 0.0;
+  for (double m : stage_macs) total_macs += m;
+  A3CS_CHECK(total_macs > 0.0, "dnnbuilder_config: zero-MAC network");
+
+  AcceleratorConfig cfg;
+  for (int st = 0; st < stages; ++st) {
+    // Compute-proportional DSP allocation (DNNBuilder's rate matching),
+    // at least a 1x2 array per stage.
+    const double share = stage_macs[static_cast<std::size_t>(st)] / total_macs;
+    const int target =
+        std::max(2, static_cast<int>(std::floor(share * budget.dsp)));
+    ChunkConfig chunk;
+    size_pe_array(target, &chunk.pe_rows, &chunk.pe_cols);
+    chunk.noc = Noc::kSystolic;  // DNNBuilder's pipelined column compute
+    chunk.dataflow = Dataflow::kWeightStationary;
+    chunk.tile_oc = 16;
+    chunk.tile_ic = 16;
+    chunk.split = BufferSplit{0.45, 0.35, 0.20};  // column/line buffers
+    cfg.chunks.push_back(chunk);
+  }
+  cfg.group_to_chunk = std::move(group_to_stage);
+  return cfg;
+}
+
+HwEval dnnbuilder_eval(const std::vector<nn::LayerSpec>& specs,
+                       const Predictor& predictor,
+                       const DnnBuilderOptions& opts) {
+  const AcceleratorConfig cfg =
+      dnnbuilder_config(specs, predictor.budget(), opts);
+  return predictor.evaluate(specs, cfg);
+}
+
+}  // namespace a3cs::accel

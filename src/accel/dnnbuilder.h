@@ -1,0 +1,37 @@
+// DNNBuilder-style baseline accelerator generator (Zhang et al., ICCAD'18),
+// the SOTA comparison point of the paper's Fig. 3.
+//
+// DNNBuilder builds a fine-grained per-layer pipeline: every layer gets its
+// own stage, with compute parallelism allocated proportionally to the layer's
+// MAC count (so all stages run at a matched rate) under the global DSP
+// budget, weight-stationary scheduling and column-based line buffers. We
+// realize that heuristic on our accelerator template (one chunk per layer
+// group, PE arrays sized by the proportional-allocation rule) and evaluate
+// it with the same predictor used for DAS-generated designs, which keeps the
+// comparison apples-to-apples.
+#pragma once
+
+#include <vector>
+
+#include "accel/predictor.h"
+#include "nn/layer_spec.h"
+
+namespace a3cs::accel {
+
+struct DnnBuilderOptions {
+  // Stage cap: very deep nets fold multiple groups per stage round-robin
+  // (DNNBuilder itself fuses shallow layers).
+  int max_stages = 16;
+};
+
+// Builds the DNNBuilder-style configuration for `specs` under `budget`.
+AcceleratorConfig dnnbuilder_config(const std::vector<nn::LayerSpec>& specs,
+                                    const FpgaBudget& budget,
+                                    const DnnBuilderOptions& opts = {});
+
+// Convenience: build + evaluate in one call.
+HwEval dnnbuilder_eval(const std::vector<nn::LayerSpec>& specs,
+                       const Predictor& predictor,
+                       const DnnBuilderOptions& opts = {});
+
+}  // namespace a3cs::accel

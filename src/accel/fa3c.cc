@@ -1,0 +1,26 @@
+#include "accel/fa3c.h"
+
+namespace a3cs::accel {
+
+AcceleratorConfig fa3c_config(const std::vector<nn::LayerSpec>& specs) {
+  AcceleratorConfig cfg;
+  ChunkConfig chunk;
+  chunk.pe_rows = 16;
+  chunk.pe_cols = 16;
+  chunk.noc = Noc::kSystolic;
+  chunk.dataflow = Dataflow::kWeightStationary;
+  chunk.tile_oc = 16;
+  chunk.tile_ic = 16;
+  chunk.split = BufferSplit{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  cfg.chunks.push_back(chunk);
+  cfg.group_to_chunk.assign(
+      static_cast<std::size_t>(nn::num_groups(specs)), 0);
+  return cfg;
+}
+
+HwEval fa3c_eval(const std::vector<nn::LayerSpec>& specs,
+                 const Predictor& predictor) {
+  return predictor.evaluate(specs, fa3c_config(specs));
+}
+
+}  // namespace a3cs::accel

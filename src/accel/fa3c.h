@@ -1,0 +1,31 @@
+// FA3C reference point (Cho et al., ASPLOS'19) used by the paper's Table III.
+//
+// FA3C is an FPGA inference engine for A3C agents with the DQN "Vanilla"
+// backbone; the paper compares against FA3C's *reported* operating point —
+// a flat ~260 FPS across all six games — rather than re-implementing it.
+// We mirror that protocol: the baseline is pinned at the reported FPS and
+// its test scores come from an undistilled Vanilla agent (FA3C accelerates
+// the stock A3C agent without changing its learning algorithm).
+#pragma once
+
+#include "accel/predictor.h"
+#include "nn/layer_spec.h"
+
+namespace a3cs::accel {
+
+// FPS reported by the FA3C paper across the Table-III games (kept for
+// documentation; our Table-III bench evaluates the FA3C-style design below
+// on the same predictor as everything else so the comparison stays within
+// one cost model).
+inline constexpr double kFa3cReportedFps = 260.0;
+
+// FA3C-style fixed design: a single monolithic compute engine (no chunk
+// pipelining), 16x16 systolic array, weight-stationary schedule, balanced
+// buffers — i.e. a non-co-designed one-size-fits-all accelerator for the
+// stock A3C agent.
+AcceleratorConfig fa3c_config(const std::vector<nn::LayerSpec>& specs);
+
+HwEval fa3c_eval(const std::vector<nn::LayerSpec>& specs,
+                 const Predictor& predictor);
+
+}  // namespace a3cs::accel

@@ -1,0 +1,75 @@
+// Hardware types for the A3C-S accelerator template (paper Sec. IV-A):
+// a chunk-based pipelined micro-architecture in the style of Shen et al.'s
+// resource-partitioned CNN accelerators. The template comprises `num_chunks`
+// sub-accelerators (pipeline stages); each chunk owns a PE array with a
+// configurable interconnect (NoC), a private slice of on-chip SRAM split
+// between input / weight / output buffers, and a dataflow (loop order +
+// tiling) for the MAC schedule. Layers are allocated to chunks by structural
+// group, not necessarily consecutively — exactly the four searchable aspects
+// the paper lists (PE settings, buffer management, tiling/scheduling, layer
+// allocation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace a3cs::accel {
+
+// PE interconnect styles. Systolic arrays pay a fill/drain latency per tile;
+// broadcast/multicast trees lose a little clock efficiency on large arrays.
+enum class Noc { kSystolic = 0, kBroadcast = 1, kMulticast = 2 };
+
+// MAC scheduling (which loops are pinned to the PE array / kept stationary).
+enum class Dataflow {
+  kWeightStationary = 0,  // PEs parallel over (in_c, out_c); weights resident
+  kOutputStationary = 1,  // PEs parallel over output pixels; psums resident
+  kRowStationary = 2      // Eyeriss-style: kernel rows x output rows
+};
+
+const char* to_string(Noc n);
+const char* to_string(Dataflow d);
+
+// Fractions of the chunk's SRAM slice given to input / weight / output
+// buffers. The searchable presets live in accel::space.
+struct BufferSplit {
+  double input = 1.0 / 3;
+  double weight = 1.0 / 3;
+  double output = 1.0 / 3;
+};
+
+struct ChunkConfig {
+  int pe_rows = 8;
+  int pe_cols = 8;
+  Noc noc = Noc::kSystolic;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  int tile_oc = 8;   // output-channel tile
+  int tile_ic = 8;   // input-channel tile
+  BufferSplit split;
+
+  int num_pes() const { return pe_rows * pe_cols; }
+};
+
+struct AcceleratorConfig {
+  std::vector<ChunkConfig> chunks;
+  // Structural-group -> chunk assignment (see nn::LayerSpec::group).
+  std::vector<int> group_to_chunk;
+
+  int num_chunks() const { return static_cast<int>(chunks.size()); }
+  std::string to_string() const;
+};
+
+// Target-device envelope. Defaults model the Xilinx ZC706 the paper uses:
+// 900 DSP slices (the binding resource, as in Sec. V-E) and 1090 BRAM18K.
+struct FpgaBudget {
+  int dsp = 900;
+  int bram18k = 1090;
+  double clock_mhz = 200.0;
+  // Off-chip bandwidth shared by all chunks, in bytes per cycle.
+  double dram_bytes_per_cycle = 64.0;
+
+  double bram_bytes() const { return bram18k * 2304.0; }  // 18Kb blocks
+};
+
+}  // namespace a3cs::accel

@@ -1,0 +1,209 @@
+#include "arcade/collect.h"
+
+#include <algorithm>
+
+namespace a3cs::arcade {
+
+CollectGame::CollectGame(CollectConfig cfg, std::uint64_t seed_value)
+    : GridGame(cfg.max_steps, seed_value), cfg_(std::move(cfg)) {}
+
+bool CollectGame::wall_at(int y, int x) const {
+  if (cfg_.mode != CollectConfig::Mode::kMaze) return false;
+  return walls_[static_cast<std::size_t>(y) * kGridW + x];
+}
+
+void CollectGame::on_reset() {
+  lives_left_ = cfg_.lives;
+  oxygen_ = cfg_.oxygen_limit;
+  items_.clear();
+  enemies_.clear();
+
+  if (cfg_.mode == CollectConfig::Mode::kMaze) {
+    // Fixed pillar maze: walls on every other cell of every other row,
+    // leaving all corridors connected.
+    walls_.assign(static_cast<std::size_t>(kGridH) * kGridW, false);
+    for (int y = 2; y < kGridH - 1; y += 3) {
+      for (int x = 1; x < kGridW - 1; x += 2) {
+        walls_[static_cast<std::size_t>(y) * kGridW + x] = true;
+      }
+    }
+  }
+
+  if (cfg_.mode == CollectConfig::Mode::kPaint) {
+    painted_.assign(static_cast<std::size_t>(kGridH) * kGridW, false);
+  }
+
+  if (cfg_.mode == CollectConfig::Mode::kClimb) {
+    py_ = kGridH - 1;
+    px_ = kGridW / 2;
+    best_row_ = py_;
+  } else {
+    py_ = kGridH - 1;
+    px_ = kGridW / 2;
+    while (wall_at(py_, px_)) px_ = (px_ + 1) % kGridW;
+  }
+
+  for (int i = 0; i < cfg_.num_items; ++i) spawn_item();
+  for (int i = 0; i < cfg_.num_enemies; ++i) spawn_enemy();
+}
+
+void CollectGame::spawn_item() {
+  if (cfg_.mode == CollectConfig::Mode::kPaint ||
+      cfg_.mode == CollectConfig::Mode::kClimb) {
+    return;  // these modes do not use discrete items
+  }
+  for (int tries = 0; tries < 64; ++tries) {
+    Point p;
+    if (cfg_.mode == CollectConfig::Mode::kLanes) {
+      static constexpr int kLaneYs[4] = {2, 5, 8, 10};
+      p = {kLaneYs[rng_.uniform_int(4)], rng_.uniform_int(kGridW)};
+    } else {
+      p = {rng_.uniform_int(kGridH - 1), rng_.uniform_int(kGridW)};
+    }
+    if (wall_at(p.y, p.x)) continue;
+    if (p.y == py_ && p.x == px_) continue;
+    items_.push_back(p);
+    return;
+  }
+}
+
+void CollectGame::spawn_enemy() {
+  for (int tries = 0; tries < 64; ++tries) {
+    Point p{rng_.uniform_int(kGridH / 2), rng_.uniform_int(kGridW)};
+    if (wall_at(p.y, p.x)) continue;
+    enemies_.push_back(p);
+    return;
+  }
+}
+
+double CollectGame::handle_caught() {
+  if (--lives_left_ <= 0) {
+    end_episode();
+  } else {
+    // Respawn at the bottom, away from the catch.
+    py_ = kGridH - 1;
+    px_ = rng_.uniform_int(kGridW);
+    while (wall_at(py_, px_)) px_ = (px_ + 1) % kGridW;
+  }
+  return cfg_.penalty_caught;
+}
+
+double CollectGame::on_step(int action) {
+  double reward = 0.0;
+
+  // Player move: 0 noop, 1 up, 2 down, 3 left, 4 right.
+  static constexpr int kDy[5] = {0, -1, 1, 0, 0};
+  static constexpr int kDx[5] = {0, 0, 0, -1, 1};
+  {
+    const int ny = py_ + kDy[action];
+    const int nx = px_ + kDx[action];
+    if (in_grid(ny, nx) && !wall_at(ny, nx)) {
+      py_ = ny;
+      px_ = nx;
+    }
+  }
+
+  switch (cfg_.mode) {
+    case CollectConfig::Mode::kPaint:
+      if (!painted_[static_cast<std::size_t>(py_) * kGridW + px_]) {
+        painted_[static_cast<std::size_t>(py_) * kGridW + px_] = true;
+        reward += cfg_.reward_item;
+        if (std::all_of(painted_.begin(), painted_.end(),
+                        [](bool b) { return b; })) {
+          painted_.assign(painted_.size(), false);  // next board
+        }
+      }
+      break;
+    case CollectConfig::Mode::kClimb:
+      if (py_ < best_row_) {
+        reward += cfg_.reward_item * (best_row_ - py_);
+        best_row_ = py_;
+        if (best_row_ == 0) {
+          // Summit: jump back to the bottom for another ascent.
+          py_ = kGridH - 1;
+          best_row_ = py_;
+        }
+      }
+      break;
+    case CollectConfig::Mode::kOxygen:
+      if (py_ == 0) {
+        oxygen_ = cfg_.oxygen_limit;  // surfaced: refill air
+      } else if (--oxygen_ <= 0) {
+        reward += handle_caught();
+        oxygen_ = cfg_.oxygen_limit;
+      }
+      break;
+    default:
+      break;
+  }
+
+  // Item pickup.
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].y == py_ && items_[i].x == px_) {
+      items_.erase(items_.begin() + static_cast<long>(i));
+      reward += cfg_.reward_item;
+      spawn_item();
+      break;
+    }
+  }
+
+  // Enemy movement (chasers for most modes, falling debris for kClimb).
+  for (Point& e : enemies_) {
+    if (!rng_.bernoulli(cfg_.enemy_speed)) continue;
+    if (cfg_.mode == CollectConfig::Mode::kClimb) {
+      ++e.y;
+      if (e.y >= kGridH) {
+        e.y = 0;
+        e.x = rng_.uniform_int(kGridW);
+      }
+    } else {
+      int dy = 0, dx = 0;
+      if (rng_.bernoulli(cfg_.chase_prob)) {
+        if (std::abs(py_ - e.y) >= std::abs(px_ - e.x)) {
+          dy = py_ > e.y ? 1 : (py_ < e.y ? -1 : 0);
+        } else {
+          dx = px_ > e.x ? 1 : (px_ < e.x ? -1 : 0);
+        }
+      } else {
+        const int r = rng_.uniform_int(4);
+        dy = kDy[r + 1];
+        dx = kDx[r + 1];
+      }
+      const int ny = e.y + dy, nx = e.x + dx;
+      if (in_grid(ny, nx) && !wall_at(ny, nx)) {
+        e.y = ny;
+        e.x = nx;
+      }
+    }
+    if (e.y == py_ && e.x == px_) {
+      reward += handle_caught();
+    }
+  }
+
+  return reward;
+}
+
+void CollectGame::draw(Tensor& frame) const {
+  put(frame, 0, py_, px_);
+  for (const Point& e : enemies_) put(frame, 1, e.y, e.x);
+  for (const Point& it : items_) put(frame, 2, it.y, it.x);
+  if (cfg_.mode == CollectConfig::Mode::kMaze) {
+    for (int y = 0; y < kGridH; ++y) {
+      for (int x = 0; x < kGridW; ++x) {
+        if (walls_[static_cast<std::size_t>(y) * kGridW + x]) {
+          put(frame, 2, y, x, 0.5f);
+        }
+      }
+    }
+  } else if (cfg_.mode == CollectConfig::Mode::kPaint) {
+    for (int y = 0; y < kGridH; ++y) {
+      for (int x = 0; x < kGridW; ++x) {
+        if (painted_[static_cast<std::size_t>(y) * kGridW + x]) {
+          put(frame, 2, y, x, 0.5f);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,74 @@
+// CollectGame engine: Alien / Asterix / Seaquest / Qbert / CrazyClimber /
+// WizardOfWor variants.
+//
+// The player walks the grid in four directions collecting items while
+// enemies give chase. Variants add a maze (Alien, WizardOfWor), item lanes
+// (Asterix), an oxygen timer forcing returns to the surface (Seaquest),
+// paint-the-floor scoring (Qbert) or upward-progress scoring with falling
+// debris (CrazyClimber).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arcade/grid_game.h"
+
+namespace a3cs::arcade {
+
+struct CollectConfig {
+  std::string name = "Alien";
+
+  enum class Mode {
+    kOpen,    // free field with items and chasers
+    kMaze,    // static walls
+    kLanes,   // items stream across fixed rows
+    kOxygen,  // must resurface to the top row before air runs out
+    kPaint,   // reward for every first-visit cell
+    kClimb    // reward per new highest row reached; debris falls
+  } mode = Mode::kOpen;
+
+  int num_items = 6;
+  int num_enemies = 2;
+  // Probability an enemy takes a greedy step toward the player (else random).
+  double chase_prob = 0.5;
+  // Probability an enemy moves at all on a given tick.
+  double enemy_speed = 0.7;
+  double reward_item = 10.0;
+  double penalty_caught = 0.0;
+  int lives = 3;
+  int max_steps = 400;
+  int oxygen_limit = 40;  // kOxygen: ticks before drowning
+};
+
+class CollectGame : public GridGame {
+ public:
+  explicit CollectGame(CollectConfig cfg, std::uint64_t seed_value = 1);
+
+  int num_actions() const override { return 5; }  // noop/up/down/left/right
+  std::string name() const override { return cfg_.name; }
+
+ protected:
+  void on_reset() override;
+  double on_step(int action) override;
+  void draw(Tensor& frame) const override;
+
+ private:
+  struct Point { int y, x; };
+
+  bool wall_at(int y, int x) const;
+  void spawn_item();
+  void spawn_enemy();
+  double handle_caught();
+
+  CollectConfig cfg_;
+  int px_ = 0, py_ = 0;
+  int lives_left_ = 0;
+  int oxygen_ = 0;
+  int best_row_ = 0;  // kClimb: highest row reached (smaller y = higher)
+  std::vector<Point> items_;
+  std::vector<Point> enemies_;
+  std::vector<bool> walls_;    // kMaze
+  std::vector<bool> painted_;  // kPaint
+};
+
+}  // namespace a3cs::arcade

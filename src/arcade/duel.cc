@@ -1,0 +1,149 @@
+#include "arcade/duel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace a3cs::arcade {
+
+DuelGame::DuelGame(DuelConfig cfg, std::uint64_t seed_value)
+    : GridGame(cfg.max_steps, seed_value), cfg_(std::move(cfg)) {}
+
+void DuelGame::on_reset() {
+  px_ = kGridW / 4;
+  py_ = kGridH / 2;
+  player_hits_ = 0;
+  opp_cooldown_ = 0;
+  shots_.clear();
+  respawn_opponent();
+}
+
+void DuelGame::respawn_opponent() {
+  ox_ = 3 * kGridW / 4;
+  oy_ = rng_.uniform_int(kGridH);
+  if (ox_ == px_ && oy_ == py_) oy_ = (oy_ + 3) % kGridH;
+}
+
+bool DuelGame::adjacent() const {
+  return std::abs(px_ - ox_) + std::abs(py_ - oy_) <= 1;
+}
+
+double DuelGame::on_step(int action) {
+  double reward = 0.0;
+  static constexpr int kDy[5] = {0, -1, 1, 0, 0};
+  static constexpr int kDx[5] = {0, 0, 0, -1, 1};
+
+  // Player action.
+  if (action >= 1 && action <= 4) {
+    py_ = clampy(py_ + kDy[action]);
+    px_ = clampx(px_ + kDx[action]);
+  } else if (action == 5) {
+    if (!cfg_.ranged) {
+      if (adjacent()) {
+        reward += cfg_.reward_hit;
+        ++player_hits_;
+        respawn_opponent();
+        if (cfg_.target_score > 0 && player_hits_ >= cfg_.target_score) {
+          end_episode();
+          return reward;
+        }
+      }
+    } else {
+      // Fire along the axis with the larger separation toward the opponent.
+      int dy = 0, dx = 0;
+      if (std::abs(oy_ - py_) >= std::abs(ox_ - px_)) {
+        dy = oy_ > py_ ? 1 : -1;
+      } else {
+        dx = ox_ > px_ ? 1 : -1;
+      }
+      shots_.push_back({py_ + dy, px_ + dx, dy, dx, true});
+    }
+  }
+
+  // Opponent policy: close distance (or line up a shot) with prob opp_skill,
+  // attack when in position.
+  if (opp_cooldown_ > 0) --opp_cooldown_;
+  const bool smart = rng_.bernoulli(cfg_.opp_skill);
+  if (!cfg_.ranged) {
+    if (adjacent() && smart && opp_cooldown_ == 0) {
+      reward += cfg_.penalty_hit;
+      opp_cooldown_ = 2;
+    } else {
+      int dy = 0, dx = 0;
+      if (smart) {
+        if (std::abs(py_ - oy_) >= std::abs(px_ - ox_)) {
+          dy = py_ > oy_ ? 1 : (py_ < oy_ ? -1 : 0);
+        } else {
+          dx = px_ > ox_ ? 1 : (px_ < ox_ ? -1 : 0);
+        }
+      } else {
+        const int r = rng_.uniform_int(4);
+        dy = kDy[r + 1];
+        dx = kDx[r + 1];
+      }
+      oy_ = clampy(oy_ + dy);
+      ox_ = clampx(ox_ + dx);
+    }
+  } else {
+    const bool aligned = (oy_ == py_) || (ox_ == px_);
+    if (aligned && smart && opp_cooldown_ == 0) {
+      int dy = 0, dx = 0;
+      if (oy_ == py_) dx = px_ > ox_ ? 1 : -1;
+      else dy = py_ > oy_ ? 1 : -1;
+      shots_.push_back({oy_ + dy, ox_ + dx, dy, dx, false});
+      opp_cooldown_ = 3;
+    } else if (smart) {
+      // Move to align on a row or column.
+      if (std::abs(py_ - oy_) <= std::abs(px_ - ox_)) {
+        oy_ = clampy(oy_ + (py_ > oy_ ? 1 : (py_ < oy_ ? -1 : 0)));
+      } else {
+        ox_ = clampx(ox_ + (px_ > ox_ ? 1 : (px_ < ox_ ? -1 : 0)));
+      }
+    } else {
+      const int r = rng_.uniform_int(4);
+      oy_ = clampy(oy_ + kDy[r + 1]);
+      ox_ = clampx(ox_ + kDx[r + 1]);
+    }
+  }
+
+  // Advance projectiles.
+  std::vector<Shot> kept;
+  kept.reserve(shots_.size());
+  for (Shot s : shots_) {
+    bool consumed = false;
+    for (int hop = 0; hop < 2 && !consumed; ++hop) {
+      if (!in_grid(s.y, s.x)) {
+        consumed = true;
+        break;
+      }
+      if (s.mine && s.y == oy_ && s.x == ox_) {
+        reward += cfg_.reward_hit;
+        ++player_hits_;
+        respawn_opponent();
+        consumed = true;
+        if (cfg_.target_score > 0 && player_hits_ >= cfg_.target_score) {
+          end_episode();
+        }
+        break;
+      }
+      if (!s.mine && s.y == py_ && s.x == px_) {
+        reward += cfg_.penalty_hit;
+        consumed = true;
+        break;
+      }
+      s.y += s.dy;
+      s.x += s.dx;
+    }
+    if (!consumed && in_grid(s.y, s.x)) kept.push_back(s);
+  }
+  shots_ = std::move(kept);
+
+  return reward;
+}
+
+void DuelGame::draw(Tensor& frame) const {
+  put(frame, 0, py_, px_);
+  put(frame, 1, oy_, ox_);
+  for (const Shot& s : shots_) put(frame, 2, s.y, s.x, s.mine ? 1.0f : 0.5f);
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,56 @@
+// DuelGame engine: Boxing / BattleZone / TimePilot variants.
+//
+// The player and a scripted opponent share an arena. In melee mode (Boxing)
+// attacking an adjacent opponent lands a punch; in ranged mode (BattleZone,
+// TimePilot) the attack fires a projectile along the row or column toward
+// the opponent. The opponent closes distance and retaliates with a
+// configurable skill level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arcade/grid_game.h"
+
+namespace a3cs::arcade {
+
+struct DuelConfig {
+  std::string name = "Boxing";
+  bool ranged = false;
+  double reward_hit = 1.0;
+  double penalty_hit = -1.0;
+  // First to `target_score` player-hits ends the episode (0 = no target).
+  int target_score = 0;
+  // Probability the opponent takes its preferred (closing/attacking) move.
+  double opp_skill = 0.6;
+  int max_steps = 400;
+};
+
+class DuelGame : public GridGame {
+ public:
+  explicit DuelGame(DuelConfig cfg, std::uint64_t seed_value = 1);
+
+  // noop / up / down / left / right / attack
+  int num_actions() const override { return 6; }
+  std::string name() const override { return cfg_.name; }
+
+ protected:
+  void on_reset() override;
+  double on_step(int action) override;
+  void draw(Tensor& frame) const override;
+
+ private:
+  struct Shot { int y, x, dy, dx; bool mine; };
+
+  bool adjacent() const;
+  void respawn_opponent();
+
+  DuelConfig cfg_;
+  int px_ = 0, py_ = 0;
+  int ox_ = 0, oy_ = 0;
+  int player_hits_ = 0;
+  int opp_cooldown_ = 0;
+  std::vector<Shot> shots_;
+};
+
+}  // namespace a3cs::arcade

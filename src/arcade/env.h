@@ -1,0 +1,61 @@
+// MiniArcade: the Arcade-Learning-Environment substitute (see DESIGN.md).
+//
+// Every game is a deterministic, seedable MDP over a small grid, rendered to
+// a channels-first float image with the same plane convention across all
+// games:
+//   plane 0: the player avatar (paddle / ship / walker / fighter)
+//   plane 1: hostile or dynamic entities (balls, enemies, bombs, opponents)
+//   plane 2: collectibles / bricks / player bullets / static structure
+// so a single network architecture can play any game, exactly as one DRL
+// backbone plays all Atari titles in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/obs_spec.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace a3cs::arcade {
+
+using nn::ObsSpec;
+using tensor::Tensor;
+
+struct StepResult {
+  Tensor obs;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // Starts a new episode and returns the initial observation.
+  virtual Tensor reset() = 0;
+
+  // Advances one step. Calling step() after `done` without reset() is an
+  // error (A3CS_CHECK).
+  virtual StepResult step(int action) = 0;
+
+  virtual int num_actions() const = 0;
+  virtual ObsSpec obs_spec() const = 0;
+  virtual std::string name() const = 0;
+
+  // Reseeds the env's private RNG stream (affects subsequent resets).
+  virtual void seed(std::uint64_t s) = 0;
+};
+
+// The standard MiniArcade frame: 3 planes on a 12x12 grid.
+inline constexpr int kGridH = 12;
+inline constexpr int kGridW = 12;
+inline constexpr int kPlanes = 3;
+
+inline ObsSpec standard_obs_spec() { return ObsSpec{kPlanes, kGridH, kGridW}; }
+
+}  // namespace a3cs::arcade

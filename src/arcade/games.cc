@@ -1,0 +1,308 @@
+#include "arcade/games.h"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "arcade/collect.h"
+#include "arcade/duel.h"
+#include "arcade/paddle.h"
+#include "arcade/shooter.h"
+
+namespace a3cs::arcade {
+namespace {
+
+using Factory = std::function<std::unique_ptr<Env>(std::uint64_t)>;
+
+std::unique_ptr<Env> paddle(PaddleConfig cfg, std::uint64_t s) {
+  return std::make_unique<PaddleGame>(std::move(cfg), s);
+}
+std::unique_ptr<Env> shooter(ShooterConfig cfg, std::uint64_t s) {
+  return std::make_unique<ShooterGame>(std::move(cfg), s);
+}
+std::unique_ptr<Env> collect(CollectConfig cfg, std::uint64_t s) {
+  return std::make_unique<CollectGame>(std::move(cfg), s);
+}
+std::unique_ptr<Env> duel(DuelConfig cfg, std::uint64_t s) {
+  return std::make_unique<DuelGame>(std::move(cfg), s);
+}
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> reg = [] {
+    std::map<std::string, Factory> r;
+
+    // ------------------------------------------------------ paddle games --
+    r["Catch"] = [](std::uint64_t s) {
+      PaddleConfig c;
+      c.name = "Catch";
+      c.mode = PaddleConfig::Mode::kCatch;
+      c.reward_catch = 1.0;
+      c.paddle_width = 2;  // narrow paddle: random play scores poorly
+      return paddle(c, s);
+    };
+    r["Breakout"] = [](std::uint64_t s) {
+      PaddleConfig c;
+      c.name = "Breakout";
+      c.mode = PaddleConfig::Mode::kBreakout;
+      c.reward_brick = 7.0;  // Atari bricks score 1-7 by row
+      c.lives = 3;
+      return paddle(c, s);
+    };
+    r["Pong"] = [](std::uint64_t s) {
+      PaddleConfig c;
+      c.name = "Pong";
+      c.mode = PaddleConfig::Mode::kVersus;
+      c.opponent_skill = 0.7;
+      c.target_points = 21;
+      return paddle(c, s);
+    };
+    r["Tennis"] = [](std::uint64_t s) {
+      PaddleConfig c;
+      c.name = "Tennis";
+      c.mode = PaddleConfig::Mode::kVersus;
+      c.opponent_skill = 0.85;  // stronger opponent: scores go negative early
+      c.target_points = 24;
+      return paddle(c, s);
+    };
+    r["Bowling"] = [](std::uint64_t s) {
+      PaddleConfig c;
+      c.name = "Bowling";
+      c.mode = PaddleConfig::Mode::kCatch;
+      c.spawn_prob = 0.12;   // sparse pins: caps the achievable score low
+      c.reward_catch = 3.0;
+      c.max_steps = 250;
+      return paddle(c, s);
+    };
+
+    // ----------------------------------------------------- shooter games --
+    r["SpaceInvaders"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "SpaceInvaders";
+      c.pattern = ShooterConfig::Pattern::kFormation;
+      c.reward_kill = 30.0;
+      c.bomb_prob = 0.02;
+      c.enemy_speed = 0.35;
+      return shooter(c, s);
+    };
+    r["Assault"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "Assault";
+      c.pattern = ShooterConfig::Pattern::kFormation;
+      c.reward_kill = 50.0;
+      c.bomb_prob = 0.06;
+      c.enemy_speed = 0.5;
+      c.penalty_hit = -50.0;
+      return shooter(c, s);
+    };
+    r["DemonAttack"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "DemonAttack";
+      c.pattern = ShooterConfig::Pattern::kRandom;
+      c.reward_kill = 100.0;
+      c.enemy_speed = 0.5;
+      c.max_enemies = 6;
+      c.landing_costs_life = false;
+      return shooter(c, s);
+    };
+    r["Centipede"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "Centipede";
+      c.pattern = ShooterConfig::Pattern::kZigzag;
+      c.reward_kill = 75.0;
+      c.enemy_speed = 0.8;
+      c.max_enemies = 6;
+      return shooter(c, s);
+    };
+    r["BeamRider"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "BeamRider";
+      c.pattern = ShooterConfig::Pattern::kLanes;
+      c.reward_kill = 44.0;
+      c.enemy_speed = 0.45;
+      c.max_enemies = 5;
+      return shooter(c, s);
+    };
+    r["ChopperCommand"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "ChopperCommand";
+      c.pattern = ShooterConfig::Pattern::kFlyby;
+      c.reward_kill = 100.0;
+      c.enemy_speed = 0.7;
+      c.max_enemies = 5;
+      c.landing_costs_life = false;
+      return shooter(c, s);
+    };
+    r["Atlantis"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "Atlantis";
+      c.pattern = ShooterConfig::Pattern::kFlyby;
+      c.reward_kill = 1000.0;  // Atlantis scores run into the millions
+      c.enemy_speed = 0.9;
+      c.max_enemies = 8;
+      c.landing_costs_life = false;
+      return shooter(c, s);
+    };
+    r["Asteroids"] = [](std::uint64_t s) {
+      ShooterConfig c;
+      c.name = "Asteroids";
+      c.pattern = ShooterConfig::Pattern::kDrift;
+      c.reward_kill = 50.0;
+      c.enemy_speed = 0.6;
+      c.max_enemies = 6;
+      c.penalty_hit = -25.0;
+      c.landing_costs_life = false;
+      return shooter(c, s);
+    };
+
+    // ----------------------------------------------------- collect games --
+    r["Alien"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "Alien";
+      c.mode = CollectConfig::Mode::kMaze;
+      c.reward_item = 10.0;
+      c.num_items = 8;
+      c.num_enemies = 2;
+      c.chase_prob = 0.55;
+      return collect(c, s);
+    };
+    r["Asterix"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "Asterix";
+      c.mode = CollectConfig::Mode::kLanes;
+      c.reward_item = 50.0;
+      c.num_items = 6;
+      c.num_enemies = 2;
+      c.chase_prob = 0.4;
+      return collect(c, s);
+    };
+    r["WizardOfWor"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "WizardOfWor";
+      c.mode = CollectConfig::Mode::kMaze;
+      c.reward_item = 20.0;
+      c.num_items = 4;
+      c.num_enemies = 3;
+      c.chase_prob = 0.7;
+      c.penalty_caught = -20.0;
+      return collect(c, s);
+    };
+    r["Seaquest"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "Seaquest";
+      c.mode = CollectConfig::Mode::kOxygen;
+      c.reward_item = 20.0;
+      c.num_items = 6;
+      c.num_enemies = 2;
+      c.chase_prob = 0.5;
+      c.oxygen_limit = 40;
+      return collect(c, s);
+    };
+    r["Qbert"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "Qbert";
+      c.mode = CollectConfig::Mode::kPaint;
+      c.reward_item = 25.0;
+      c.num_enemies = 2;
+      c.chase_prob = 0.5;
+      return collect(c, s);
+    };
+    r["CrazyClimber"] = [](std::uint64_t s) {
+      CollectConfig c;
+      c.name = "CrazyClimber";
+      c.mode = CollectConfig::Mode::kClimb;
+      c.reward_item = 100.0;  // per row climbed
+      c.num_enemies = 3;
+      c.enemy_speed = 0.8;
+      return collect(c, s);
+    };
+
+    // -------------------------------------------------------- duel games --
+    r["Boxing"] = [](std::uint64_t s) {
+      DuelConfig c;
+      c.name = "Boxing";
+      c.ranged = false;
+      c.reward_hit = 1.0;
+      c.penalty_hit = -1.0;
+      c.target_score = 100;  // KO at 100, as on Atari
+      c.opp_skill = 0.5;
+      return duel(c, s);
+    };
+    r["BattleZone"] = [](std::uint64_t s) {
+      DuelConfig c;
+      c.name = "BattleZone";
+      c.ranged = true;
+      c.reward_hit = 1000.0;
+      c.penalty_hit = -1000.0;
+      c.opp_skill = 0.6;
+      return duel(c, s);
+    };
+    r["TimePilot"] = [](std::uint64_t s) {
+      DuelConfig c;
+      c.name = "TimePilot";
+      c.ranged = true;
+      c.reward_hit = 100.0;
+      c.penalty_hit = -100.0;
+      c.opp_skill = 0.5;
+      return duel(c, s);
+    };
+
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+std::unique_ptr<Env> make_game(const std::string& title,
+                               std::uint64_t seed_value) {
+  const auto& reg = registry();
+  const auto it = reg.find(title);
+  if (it == reg.end()) {
+    throw std::invalid_argument("unknown MiniArcade game: " + title);
+  }
+  return it->second(seed_value);
+}
+
+const std::vector<std::string>& all_game_titles() {
+  static const std::vector<std::string> titles = [] {
+    std::vector<std::string> t;
+    for (const auto& [name, _] : registry()) t.push_back(name);
+    return t;
+  }();
+  return titles;
+}
+
+bool is_known_game(const std::string& title) {
+  return registry().count(title) > 0;
+}
+
+const std::vector<std::string>& table1_games() {
+  static const std::vector<std::string> games = {
+      "Breakout",   "Alien",     "Asterix",   "Atlantis",
+      "TimePilot",  "SpaceInvaders", "WizardOfWor", "Tennis",
+      "Asteroids",  "Assault",   "BattleZone", "BeamRider",
+      "Bowling",    "Boxing",    "Centipede", "ChopperCommand"};
+  return games;
+}
+
+const std::vector<std::string>& table2_games() {
+  static const std::vector<std::string> games = {
+      "Alien",     "SpaceInvaders", "Asterix",     "Asteroids",
+      "Assault",   "BattleZone",    "BeamRider",   "Boxing",
+      "Centipede", "ChopperCommand", "CrazyClimber", "DemonAttack"};
+  return games;
+}
+
+const std::vector<std::string>& table3_games() {
+  static const std::vector<std::string> games = {
+      "BeamRider", "Breakout", "Pong", "Qbert", "Seaquest", "SpaceInvaders"};
+  return games;
+}
+
+const std::vector<std::string>& figure_games() {
+  static const std::vector<std::string> games = {"Breakout", "SpaceInvaders",
+                                                 "Alien", "Boxing"};
+  return games;
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,31 @@
+// The MiniArcade game registry: one named configuration per Atari title the
+// paper reports, mapped onto the four game engines (see DESIGN.md for the
+// substitution rationale). Reward scales are tuned so score magnitudes
+// roughly echo the paper's tables; all comparisons are relative.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arcade/env.h"
+
+namespace a3cs::arcade {
+
+// Creates a game by its (paper) title; throws on unknown titles.
+std::unique_ptr<Env> make_game(const std::string& title,
+                               std::uint64_t seed_value);
+
+// All registered titles.
+const std::vector<std::string>& all_game_titles();
+
+// True if `title` is registered.
+bool is_known_game(const std::string& title);
+
+// The game subsets used by each paper table / figure.
+const std::vector<std::string>& table1_games();   // 16 titles
+const std::vector<std::string>& table2_games();   // 12 titles
+const std::vector<std::string>& table3_games();   // 6 titles (FA3C set)
+const std::vector<std::string>& figure_games();   // 4 titles (Figs. 1-3)
+
+}  // namespace a3cs::arcade

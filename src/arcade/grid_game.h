@@ -1,0 +1,87 @@
+// Shared machinery for all MiniArcade games: a fixed-size grid frame with the
+// standard 3-plane rendering convention, per-env RNG stream, step caps and
+// episode bookkeeping.
+#pragma once
+
+#include <string>
+
+#include "arcade/env.h"
+#include "util/logging.h"
+
+namespace a3cs::arcade {
+
+class GridGame : public Env {
+ public:
+  int num_actions() const override = 0;
+  ObsSpec obs_spec() const override { return standard_obs_spec(); }
+  void seed(std::uint64_t s) override { rng_.reseed(s); }
+
+  Tensor reset() override {
+    done_ = false;
+    steps_ = 0;
+    episode_score_ = 0.0;
+    on_reset();
+    return render();
+  }
+
+  StepResult step(int action) override {
+    A3CS_CHECK(!done_, name() + ": step() after episode end");
+    A3CS_CHECK(action >= 0 && action < num_actions(),
+               name() + ": action out of range");
+    ++steps_;
+    const double reward = on_step(action);
+    episode_score_ += reward;
+    if (steps_ >= max_steps_) done_ = true;
+    StepResult r;
+    r.obs = render();
+    r.reward = reward;
+    r.done = done_;
+    return r;
+  }
+
+  double episode_score() const { return episode_score_; }
+  int steps() const { return steps_; }
+
+ protected:
+  explicit GridGame(int max_steps, std::uint64_t seed_value = 1)
+      : rng_(seed_value), max_steps_(max_steps) {}
+
+  // Subclass hooks: set up the episode state / advance one tick (returning
+  // the reward) / draw the current state into a cleared frame.
+  virtual void on_reset() = 0;
+  virtual double on_step(int action) = 0;
+  virtual void draw(Tensor& frame) const = 0;
+
+  void end_episode() { done_ = true; }
+
+  // Plane values: 1.0 for primary entities, 0.5 for secondary (e.g. walls
+  // vs items sharing plane 2). Out-of-grid writes are silently clipped,
+  // which keeps entity-drawing code free of edge special-cases.
+  static void put(Tensor& frame, int plane, int y, int x, float v = 1.0f) {
+    if (y < 0 || y >= kGridH || x < 0 || x >= kGridW) return;
+    frame.at4(0, plane, y, x) = v;
+  }
+
+  static bool in_grid(int y, int x) {
+    return y >= 0 && y < kGridH && x >= 0 && x < kGridW;
+  }
+
+  static int clampx(int x) { return x < 0 ? 0 : (x >= kGridW ? kGridW - 1 : x); }
+  static int clampy(int y) { return y < 0 ? 0 : (y >= kGridH ? kGridH - 1 : y); }
+
+  util::Rng rng_;
+  int max_steps_;
+
+ private:
+  Tensor render() const {
+    Tensor frame(tensor::Shape::nchw(1, kPlanes, kGridH, kGridW));
+    draw(frame);
+    return frame;
+  }
+
+  bool done_ = true;
+  int steps_ = 0;
+  double episode_score_ = 0.0;
+};
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,205 @@
+#include "arcade/paddle.h"
+
+#include <algorithm>
+
+namespace a3cs::arcade {
+
+namespace {
+constexpr int kPaddleRow = kGridH - 1;
+constexpr int kOppRow = 0;
+}  // namespace
+
+PaddleGame::PaddleGame(PaddleConfig cfg, std::uint64_t seed_value)
+    : GridGame(cfg.max_steps, seed_value), cfg_(std::move(cfg)) {
+  A3CS_CHECK(cfg_.paddle_width >= 1 && cfg_.paddle_width < kGridW,
+             "bad paddle width");
+}
+
+void PaddleGame::on_reset() {
+  paddle_x_ = (kGridW - cfg_.paddle_width) / 2;
+  opp_x_ = paddle_x_;
+  lives_left_ = cfg_.lives;
+  points_ = 0;
+  pellets_.clear();
+  if (cfg_.mode == PaddleConfig::Mode::kBreakout) {
+    refill_bricks();
+    respawn_ball(/*towards_player=*/false);
+  } else if (cfg_.mode == PaddleConfig::Mode::kVersus) {
+    respawn_ball(rng_.bernoulli(0.5));
+  }
+}
+
+void PaddleGame::refill_bricks() {
+  bricks_.assign(static_cast<std::size_t>(cfg_.brick_rows) * kGridW, true);
+}
+
+void PaddleGame::respawn_ball(bool towards_player) {
+  ball_x_ = 2 + rng_.uniform_int(kGridW - 4);
+  ball_y_ = kGridH / 2;
+  vel_x_ = rng_.bernoulli(0.5) ? 1 : -1;
+  vel_y_ = towards_player ? 1 : -1;
+}
+
+double PaddleGame::move_ball() {
+  double reward = 0.0;
+  int nx = ball_x_ + vel_x_;
+  int ny = ball_y_ + vel_y_;
+
+  // Side walls.
+  if (nx < 0 || nx >= kGridW) {
+    vel_x_ = -vel_x_;
+    nx = ball_x_ + vel_x_;
+  }
+
+  if (cfg_.mode == PaddleConfig::Mode::kBreakout) {
+    // Ceiling bounce.
+    if (ny < cfg_.brick_rows) {
+      if (ny >= 0) {
+        const std::size_t idx = static_cast<std::size_t>(ny) * kGridW + nx;
+        if (bricks_[idx]) {
+          bricks_[idx] = false;
+          reward += cfg_.reward_brick;
+          vel_y_ = -vel_y_;
+          ny = ball_y_ + vel_y_;
+          if (std::none_of(bricks_.begin(), bricks_.end(),
+                           [](bool b) { return b; })) {
+            refill_bricks();  // endless play within the step cap
+          }
+        }
+      } else {
+        vel_y_ = -vel_y_;
+        ny = ball_y_ + vel_y_;
+      }
+    }
+    if (ny < 0) {
+      vel_y_ = 1;
+      ny = ball_y_ + vel_y_;
+    }
+  } else if (cfg_.mode == PaddleConfig::Mode::kVersus) {
+    // Opponent paddle on the top row.
+    if (ny <= kOppRow) {
+      const bool covered = nx >= opp_x_ && nx < opp_x_ + cfg_.paddle_width;
+      if (covered) {
+        vel_y_ = 1;
+        ny = kOppRow + 1;
+      } else {
+        // Player wins the point.
+        reward += cfg_.reward_point;
+        ++points_;
+        if (cfg_.target_points > 0 && points_ >= cfg_.target_points) {
+          end_episode();
+        } else {
+          respawn_ball(rng_.bernoulli(0.5));
+        }
+        return reward;
+      }
+    }
+  }
+
+  // Player paddle / bottom row.
+  if (ny >= kPaddleRow) {
+    const bool covered =
+        nx >= paddle_x_ && nx < paddle_x_ + cfg_.paddle_width;
+    if (covered) {
+      vel_y_ = -1;
+      // English: hitting with the paddle edge slants the return.
+      const int rel = nx - paddle_x_;
+      if (rel == 0) vel_x_ = -1;
+      else if (rel == cfg_.paddle_width - 1) vel_x_ = 1;
+      ny = kPaddleRow - 1;
+    } else {
+      // Player misses.
+      if (cfg_.mode == PaddleConfig::Mode::kVersus) {
+        reward += cfg_.penalty_point;
+        respawn_ball(rng_.bernoulli(0.5));
+        return reward;
+      }
+      if (--lives_left_ <= 0) {
+        end_episode();
+        return reward;
+      }
+      respawn_ball(false);
+      return reward;
+    }
+  }
+
+  ball_x_ = nx;
+  ball_y_ = ny;
+  return reward;
+}
+
+double PaddleGame::on_step(int action) {
+  // Move the paddle: 0 noop, 1 left, 2 right.
+  if (action == 1) paddle_x_ = std::max(0, paddle_x_ - 1);
+  if (action == 2) {
+    paddle_x_ = std::min(kGridW - cfg_.paddle_width, paddle_x_ + 1);
+  }
+
+  double reward = 0.0;
+
+  if (cfg_.mode == PaddleConfig::Mode::kCatch) {
+    // Advance pellets; catch on the paddle row.
+    std::vector<Pellet> kept;
+    kept.reserve(pellets_.size());
+    for (Pellet p : pellets_) {
+      ++p.y;
+      if (p.y >= kPaddleRow) {
+        const bool covered =
+            p.x >= paddle_x_ && p.x < paddle_x_ + cfg_.paddle_width;
+        if (covered) {
+          reward += cfg_.reward_catch;
+        } else {
+          reward += cfg_.penalty_miss;
+          if (cfg_.penalty_miss < 0.0 && --lives_left_ <= 0) end_episode();
+        }
+      } else {
+        kept.push_back(p);
+      }
+    }
+    pellets_ = std::move(kept);
+    if (pellets_.size() < 3 && rng_.bernoulli(cfg_.spawn_prob)) {
+      pellets_.push_back({0, rng_.uniform_int(kGridW)});
+    }
+    return reward;
+  }
+
+  // Ball games: move the opponent (versus mode) then the ball.
+  if (cfg_.mode == PaddleConfig::Mode::kVersus && vel_y_ < 0) {
+    const int center = opp_x_ + cfg_.paddle_width / 2;
+    int dir = 0;
+    if (ball_x_ > center) dir = 1;
+    else if (ball_x_ < center) dir = -1;
+    if (!rng_.bernoulli(cfg_.opponent_skill)) {
+      dir = rng_.uniform_int(3) - 1;  // fumble
+    }
+    opp_x_ = std::clamp(opp_x_ + dir, 0, kGridW - cfg_.paddle_width);
+  }
+  reward += move_ball();
+  return reward;
+}
+
+void PaddleGame::draw(Tensor& frame) const {
+  for (int i = 0; i < cfg_.paddle_width; ++i) {
+    put(frame, 0, kPaddleRow, paddle_x_ + i);
+  }
+  if (cfg_.mode == PaddleConfig::Mode::kCatch) {
+    for (const Pellet& p : pellets_) put(frame, 1, p.y, p.x);
+    return;
+  }
+  put(frame, 1, ball_y_, ball_x_);
+  if (cfg_.mode == PaddleConfig::Mode::kBreakout) {
+    for (int r = 0; r < cfg_.brick_rows; ++r) {
+      for (int x = 0; x < kGridW; ++x) {
+        if (bricks_[static_cast<std::size_t>(r) * kGridW + x]) {
+          put(frame, 2, r, x);
+        }
+      }
+    }
+  } else if (cfg_.mode == PaddleConfig::Mode::kVersus) {
+    for (int i = 0; i < cfg_.paddle_width; ++i) {
+      put(frame, 2, kOppRow, opp_x_ + i);
+    }
+  }
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,71 @@
+// PaddleGame engine: Breakout / Pong / Tennis / Bowling / Catch variants.
+//
+// A paddle on the bottom row moves left/right; depending on the mode the
+// player bounces a ball into bricks (Breakout), rallies against a scripted
+// opponent paddle on the top row (Pong, Tennis), or catches falling objects
+// (Catch, Bowling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arcade/grid_game.h"
+
+namespace a3cs::arcade {
+
+struct PaddleConfig {
+  std::string name = "Catch";
+  enum class Mode { kBreakout, kVersus, kCatch } mode = Mode::kCatch;
+
+  int paddle_width = 3;
+  int lives = 3;
+  int max_steps = 400;
+
+  // kBreakout
+  int brick_rows = 3;
+  double reward_brick = 1.0;
+
+  // kVersus: probability the opponent tracks the ball correctly each step,
+  // rewards for winning/losing a point, optional score target ending the
+  // episode early.
+  double opponent_skill = 0.75;
+  double reward_point = 1.0;
+  double penalty_point = -1.0;
+  int target_points = 0;
+
+  // kCatch
+  double spawn_prob = 0.25;
+  double reward_catch = 1.0;
+  double penalty_miss = 0.0;
+};
+
+class PaddleGame : public GridGame {
+ public:
+  explicit PaddleGame(PaddleConfig cfg, std::uint64_t seed_value = 1);
+
+  int num_actions() const override { return 3; }  // noop / left / right
+  std::string name() const override { return cfg_.name; }
+
+ protected:
+  void on_reset() override;
+  double on_step(int action) override;
+  void draw(Tensor& frame) const override;
+
+ private:
+  void respawn_ball(bool towards_player);
+  void refill_bricks();
+  double move_ball();  // returns reward accrued this tick
+
+  PaddleConfig cfg_;
+  int paddle_x_ = 0;      // left edge of the player paddle
+  int opp_x_ = 0;         // left edge of the opponent paddle (kVersus)
+  int ball_x_ = 0, ball_y_ = 0;
+  int vel_x_ = 0, vel_y_ = 0;
+  int lives_left_ = 0;
+  int points_ = 0;
+  std::vector<bool> bricks_;  // brick_rows x kGridW occupancy
+  struct Pellet { int y, x; };
+  std::vector<Pellet> pellets_;
+};
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,35 @@
+#include "arcade/render.h"
+
+#include "util/logging.h"
+
+namespace a3cs::arcade {
+
+std::string render_ascii(const Tensor& obs) {
+  A3CS_CHECK(obs.shape().rank() == 4 && obs.shape()[0] == 1 &&
+                 obs.shape()[1] >= 3,
+             "render_ascii expects a (1, >=3, H, W) observation");
+  const int h = obs.shape()[2], w = obs.shape()[3];
+  std::string out;
+  out.reserve(static_cast<std::size_t>((w + 3) * (h + 2)));
+  const std::string border(static_cast<std::size_t>(w) + 2, '-');
+  out += border + "\n";
+  for (int y = 0; y < h; ++y) {
+    out += "|";
+    for (int x = 0; x < w; ++x) {
+      char c = ' ';
+      const float p2 = obs.at4(0, 2, y, x);
+      if (p2 > 0.75f) c = '#';
+      else if (p2 > 0.0f) c = '+';
+      const float p1 = obs.at4(0, 1, y, x);
+      if (p1 > 0.75f) c = 'o';
+      else if (p1 > 0.0f) c = '.';
+      if (obs.at4(0, 0, y, x) > 0.0f) c = 'A';
+      out += c;
+    }
+    out += "|\n";
+  }
+  out += border + "\n";
+  return out;
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,15 @@
+// ASCII rendering of MiniArcade observations for debugging and demos.
+#pragma once
+
+#include <string>
+
+#include "arcade/env.h"
+
+namespace a3cs::arcade {
+
+// Renders a (1, 3, H, W) observation:
+//   'A' player (plane 0)   'o'/'.' hostiles (plane 1, strong/weak)
+//   '#'/'+' plane 2 (strong/weak)   ' ' empty
+std::string render_ascii(const Tensor& obs);
+
+}  // namespace a3cs::arcade

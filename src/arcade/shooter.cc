@@ -1,0 +1,245 @@
+#include "arcade/shooter.h"
+
+#include <algorithm>
+
+namespace a3cs::arcade {
+
+namespace {
+constexpr int kPlayerRow = kGridH - 1;
+}  // namespace
+
+ShooterGame::ShooterGame(ShooterConfig cfg, std::uint64_t seed_value)
+    : GridGame(cfg.max_steps, seed_value), cfg_(std::move(cfg)) {}
+
+void ShooterGame::on_reset() {
+  player_x_ = kGridW / 2;
+  lives_left_ = cfg_.lives;
+  cooldown_ = 0;
+  formation_dir_ = 1;
+  enemies_.clear();
+  bullets_.clear();
+  bombs_.clear();
+  if (cfg_.pattern == ShooterConfig::Pattern::kFormation) {
+    // Two ranks of invaders centred at the top.
+    const int cols = std::min(cfg_.max_enemies / 2, kGridW - 4);
+    const int x0 = (kGridW - cols) / 2;
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        enemies_.push_back({1 + r, x0 + c, 1, 0});
+      }
+    }
+  } else {
+    const int initial = std::max(1, cfg_.max_enemies / 2);
+    for (int i = 0; i < initial; ++i) spawn_enemy();
+  }
+}
+
+void ShooterGame::spawn_enemy() {
+  using P = ShooterConfig::Pattern;
+  Enemy e{0, 0, rng_.bernoulli(0.5) ? 1 : -1, 1};
+  switch (cfg_.pattern) {
+    case P::kFormation:
+      e = {0, rng_.uniform_int(kGridW), formation_dir_, 0};
+      break;
+    case P::kRandom:
+      e = {0, rng_.uniform_int(kGridW), 0, 1};
+      break;
+    case P::kLanes: {
+      static constexpr int kLaneXs[4] = {1, 4, 7, 10};
+      e = {0, kLaneXs[rng_.uniform_int(4)], 0, 1};
+      break;
+    }
+    case P::kZigzag:
+      e = {0, rng_.bernoulli(0.5) ? 0 : kGridW - 1, 0, 1};
+      e.dir = (e.x == 0) ? 1 : -1;
+      break;
+    case P::kFlyby: {
+      const int row = 1 + rng_.uniform_int(kGridH / 2);
+      const bool from_left = rng_.bernoulli(0.5);
+      e = {row, from_left ? 0 : kGridW - 1, from_left ? 1 : -1, 0};
+      break;
+    }
+    case P::kDrift:
+      e = {rng_.uniform_int(kGridH / 2), rng_.uniform_int(kGridW),
+           rng_.bernoulli(0.5) ? 1 : -1, rng_.bernoulli(0.5) ? 1 : -1};
+      break;
+  }
+  enemies_.push_back(e);
+}
+
+double ShooterGame::lose_life() {
+  if (--lives_left_ <= 0) end_episode();
+  return cfg_.penalty_hit;
+}
+
+void ShooterGame::advance_enemies(double& reward) {
+  using P = ShooterConfig::Pattern;
+
+  if (cfg_.pattern == P::kFormation) {
+    // The whole block marches together; descend and flip at the walls.
+    if (rng_.bernoulli(cfg_.enemy_speed) && !enemies_.empty()) {
+      bool at_edge = false;
+      for (const Enemy& e : enemies_) {
+        const int nx = e.x + formation_dir_;
+        if (nx < 0 || nx >= kGridW) at_edge = true;
+      }
+      for (Enemy& e : enemies_) {
+        if (at_edge) ++e.y;
+        else e.x += formation_dir_;
+      }
+      if (at_edge) formation_dir_ = -formation_dir_;
+    }
+  } else {
+    for (Enemy& e : enemies_) {
+      if (!rng_.bernoulli(cfg_.enemy_speed)) continue;
+      switch (cfg_.pattern) {
+        case P::kRandom:
+          ++e.y;
+          e.x = clampx(e.x + rng_.uniform_int(3) - 1);
+          break;
+        case P::kLanes:
+          ++e.y;
+          break;
+        case P::kZigzag: {
+          const int nx = e.x + e.dir;
+          if (nx < 0 || nx >= kGridW) {
+            e.dir = -e.dir;
+            ++e.y;
+          } else {
+            e.x = nx;
+          }
+          break;
+        }
+        case P::kFlyby: {
+          e.x += e.dir;
+          break;
+        }
+        case P::kDrift: {
+          e.x = (e.x + e.dir + kGridW) % kGridW;
+          e.y = (e.y + e.dy + kGridH) % kGridH;
+          break;
+        }
+        case P::kFormation:
+          break;  // handled above
+      }
+    }
+  }
+
+  // Resolve enemies leaving the arena or reaching the player.
+  std::vector<Enemy> kept;
+  kept.reserve(enemies_.size());
+  for (const Enemy& e : enemies_) {
+    if (cfg_.pattern == ShooterConfig::Pattern::kFlyby &&
+        (e.x < 0 || e.x >= kGridW)) {
+      continue;  // flew across; respawned below
+    }
+    if (e.y >= kPlayerRow) {
+      if (e.y == kPlayerRow && e.x == player_x_) {
+        reward += lose_life();
+        continue;
+      }
+      if (cfg_.landing_costs_life &&
+          cfg_.pattern != ShooterConfig::Pattern::kDrift) {
+        reward += lose_life();
+      }
+      continue;
+    }
+    if (cfg_.pattern == ShooterConfig::Pattern::kDrift && e.y == kPlayerRow &&
+        e.x == player_x_) {
+      reward += lose_life();
+      continue;
+    }
+    kept.push_back(e);
+  }
+  enemies_ = std::move(kept);
+
+  // Keep pressure on: replenish up to the configured population.
+  while (static_cast<int>(enemies_.size()) < cfg_.max_enemies &&
+         cfg_.pattern != ShooterConfig::Pattern::kFormation) {
+    if (!rng_.bernoulli(0.5)) break;
+    spawn_enemy();
+  }
+  if (cfg_.pattern == ShooterConfig::Pattern::kFormation && enemies_.empty()) {
+    on_reset_formation_wave();
+  }
+}
+
+double ShooterGame::on_step(int action) {
+  double reward = 0.0;
+
+  // Player control.
+  if (action == 1) player_x_ = std::max(0, player_x_ - 1);
+  if (action == 2) player_x_ = std::min(kGridW - 1, player_x_ + 1);
+  if (cooldown_ > 0) --cooldown_;
+  if (action == 3 && cooldown_ == 0) {
+    bullets_.push_back({kPlayerRow - 1, player_x_});
+    cooldown_ = cfg_.fire_cooldown;
+  }
+
+  // Player bullets travel 2 cells/tick with a hit test at each cell.
+  std::vector<Bullet> kept_bullets;
+  kept_bullets.reserve(bullets_.size());
+  for (Bullet b : bullets_) {
+    bool alive = true;
+    for (int hop = 0; hop < 2 && alive; ++hop) {
+      --b.y;
+      if (b.y < 0) {
+        alive = false;
+        break;
+      }
+      for (std::size_t i = 0; i < enemies_.size(); ++i) {
+        if (enemies_[i].y == b.y && enemies_[i].x == b.x) {
+          enemies_.erase(enemies_.begin() + static_cast<long>(i));
+          reward += cfg_.reward_kill;
+          alive = false;
+          break;
+        }
+      }
+    }
+    if (alive) kept_bullets.push_back(b);
+  }
+  bullets_ = std::move(kept_bullets);
+
+  advance_enemies(reward);
+
+  // Enemy bombs.
+  if (cfg_.bomb_prob > 0.0) {
+    for (const Enemy& e : enemies_) {
+      if (e.y < kPlayerRow - 1 && rng_.bernoulli(cfg_.bomb_prob)) {
+        bombs_.push_back({e.y + 1, e.x});
+      }
+    }
+  }
+  std::vector<Bullet> kept_bombs;
+  kept_bombs.reserve(bombs_.size());
+  for (Bullet b : bombs_) {
+    ++b.y;
+    if (b.y == kPlayerRow && b.x == player_x_) {
+      reward += lose_life();
+      continue;
+    }
+    if (b.y < kGridH) kept_bombs.push_back(b);
+  }
+  bombs_ = std::move(kept_bombs);
+
+  return reward;
+}
+
+void ShooterGame::draw(Tensor& frame) const {
+  put(frame, 0, kPlayerRow, player_x_);
+  for (const Enemy& e : enemies_) put(frame, 1, e.y, e.x);
+  for (const Bullet& b : bombs_) put(frame, 1, b.y, b.x, 0.5f);
+  for (const Bullet& b : bullets_) put(frame, 2, b.y, b.x);
+}
+
+void ShooterGame::on_reset_formation_wave() {
+  const int cols = std::min(cfg_.max_enemies / 2, kGridW - 4);
+  const int x0 = (kGridW - cols) / 2;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      enemies_.push_back({1 + r, x0 + c, 1, 0});
+    }
+  }
+}
+
+}  // namespace a3cs::arcade

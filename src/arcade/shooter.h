@@ -1,0 +1,79 @@
+// ShooterGame engine: SpaceInvaders / Assault / DemonAttack / Centipede /
+// BeamRider / Atlantis / ChopperCommand / Asteroids variants.
+//
+// The player ship sits on the bottom row, moves left/right and fires bullets
+// upward. Enemies enter from the top (or sides) following a per-variant
+// movement pattern; some drop bombs. Kills score, being hit (or letting the
+// invasion land) costs lives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arcade/grid_game.h"
+
+namespace a3cs::arcade {
+
+struct ShooterConfig {
+  std::string name = "SpaceInvaders";
+
+  enum class Pattern {
+    kFormation,  // marching block that descends at the edges (SpaceInvaders)
+    kRandom,     // independent divers from random columns (DemonAttack)
+    kLanes,      // fixed-lane runners (BeamRider)
+    kZigzag,     // serpentine descent (Centipede)
+    kFlyby,      // horizontal passes across fixed rows (Atlantis, Chopper)
+    kDrift       // wrapping diagonal drifters (Asteroids)
+  } pattern = Pattern::kFormation;
+
+  int max_enemies = 8;
+  // Probability an enemy advances on a given tick (speed knob).
+  double enemy_speed = 0.4;
+  // Per-enemy per-tick probability of dropping a bomb.
+  double bomb_prob = 0.0;
+  double reward_kill = 10.0;
+  double penalty_hit = 0.0;
+  int lives = 3;
+  int max_steps = 400;
+  // Minimum ticks between player shots.
+  int fire_cooldown = 2;
+  // Whether an enemy reaching the bottom row costs a life.
+  bool landing_costs_life = true;
+};
+
+class ShooterGame : public GridGame {
+ public:
+  explicit ShooterGame(ShooterConfig cfg, std::uint64_t seed_value = 1);
+
+  int num_actions() const override { return 4; }  // noop/left/right/fire
+  std::string name() const override { return cfg_.name; }
+
+ protected:
+  void on_reset() override;
+  double on_step(int action) override;
+  void draw(Tensor& frame) const override;
+
+ private:
+  struct Enemy {
+    int y, x;
+    int dir;   // horizontal direction for formation/flyby/drift/zigzag
+    int dy;    // vertical direction for drift
+  };
+  struct Bullet { int y, x; };
+
+  void spawn_enemy();
+  void advance_enemies(double& reward);
+  void on_reset_formation_wave();
+  double lose_life();
+
+  ShooterConfig cfg_;
+  int player_x_ = 0;
+  int lives_left_ = 0;
+  int cooldown_ = 0;
+  int formation_dir_ = 1;
+  std::vector<Enemy> enemies_;
+  std::vector<Bullet> bullets_;  // player shots, move up 2/tick
+  std::vector<Bullet> bombs_;    // enemy shots, move down 1/tick
+};
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,77 @@
+#include "arcade/vec_env.h"
+
+#include <cstring>
+
+#include "arcade/games.h"
+#include "util/logging.h"
+
+namespace a3cs::arcade {
+
+VecEnv::VecEnv(const std::string& title, int num_envs,
+               std::uint64_t seed_value)
+    : title_(title) {
+  A3CS_CHECK(num_envs >= 1, "VecEnv needs at least one env");
+  for (int i = 0; i < num_envs; ++i) {
+    envs_.push_back(make_game(title, seed_value + static_cast<std::uint64_t>(i)));
+  }
+  running_returns_.assign(envs_.size(), 0.0);
+}
+
+VecEnv::VecEnv(std::vector<std::unique_ptr<Env>> envs)
+    : envs_(std::move(envs)) {
+  A3CS_CHECK(!envs_.empty(), "VecEnv needs at least one env");
+  title_ = envs_.front()->name();
+  running_returns_.assign(envs_.size(), 0.0);
+}
+
+void VecEnv::copy_into_batch(Tensor& batch, int slot, const Tensor& obs) {
+  const std::int64_t frame = obs.numel();
+  std::memcpy(batch.data() + static_cast<std::size_t>(slot) * frame,
+              obs.data(), static_cast<std::size_t>(frame) * sizeof(float));
+}
+
+Tensor VecEnv::reset() {
+  const ObsSpec spec = obs_spec();
+  Tensor batch(tensor::Shape::nchw(num_envs(), spec.channels, spec.height,
+                                   spec.width));
+  for (int i = 0; i < num_envs(); ++i) {
+    copy_into_batch(batch, i, envs_[static_cast<std::size_t>(i)]->reset());
+  }
+  std::fill(running_returns_.begin(), running_returns_.end(), 0.0);
+  return batch;
+}
+
+VecStep VecEnv::step(const std::vector<int>& actions) {
+  A3CS_CHECK(static_cast<int>(actions.size()) == num_envs(),
+             "VecEnv::step action count mismatch");
+  const ObsSpec spec = obs_spec();
+  VecStep out;
+  out.obs = Tensor(tensor::Shape::nchw(num_envs(), spec.channels, spec.height,
+                                       spec.width));
+  out.rewards.resize(envs_.size());
+  out.dones.resize(envs_.size());
+  for (int i = 0; i < num_envs(); ++i) {
+    auto& env = envs_[static_cast<std::size_t>(i)];
+    StepResult r = env->step(actions[static_cast<std::size_t>(i)]);
+    running_returns_[static_cast<std::size_t>(i)] += r.reward;
+    out.rewards[static_cast<std::size_t>(i)] = r.reward;
+    out.dones[static_cast<std::size_t>(i)] = r.done;
+    if (r.done) {
+      episode_scores_.push_back(running_returns_[static_cast<std::size_t>(i)]);
+      running_returns_[static_cast<std::size_t>(i)] = 0.0;
+      ++episodes_completed_;
+      copy_into_batch(out.obs, i, env->reset());
+    } else {
+      copy_into_batch(out.obs, i, r.obs);
+    }
+  }
+  return out;
+}
+
+std::vector<double> VecEnv::drain_episode_scores() {
+  std::vector<double> out = std::move(episode_scores_);
+  episode_scores_.clear();
+  return out;
+}
+
+}  // namespace a3cs::arcade

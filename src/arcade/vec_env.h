@@ -1,0 +1,53 @@
+// Vectorized environment runner: steps N independent instances of the same
+// game in lockstep and batches their observations into one NCHW tensor, as
+// A2C-style training requires. Episodes auto-reset; finished-episode scores
+// are collected for the caller.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arcade/env.h"
+
+namespace a3cs::arcade {
+
+struct VecStep {
+  Tensor obs;                   // (N, C, H, W) next observations
+  std::vector<double> rewards;  // per-env reward this step
+  std::vector<bool> dones;      // episode ended this step (obs is post-reset)
+};
+
+class VecEnv {
+ public:
+  // Builds `num_envs` instances of `title`, seeded seed, seed+1, ...
+  VecEnv(const std::string& title, int num_envs, std::uint64_t seed_value);
+
+  // Takes ownership of pre-built envs (must be non-empty, same spec).
+  explicit VecEnv(std::vector<std::unique_ptr<Env>> envs);
+
+  Tensor reset();
+  VecStep step(const std::vector<int>& actions);
+
+  int num_envs() const { return static_cast<int>(envs_.size()); }
+  int num_actions() const { return envs_.front()->num_actions(); }
+  ObsSpec obs_spec() const { return envs_.front()->obs_spec(); }
+  const std::string& title() const { return title_; }
+
+  // Scores of episodes completed since the last call (drained).
+  std::vector<double> drain_episode_scores();
+
+  // Running count of completed episodes.
+  std::int64_t episodes_completed() const { return episodes_completed_; }
+
+ private:
+  static void copy_into_batch(Tensor& batch, int slot, const Tensor& obs);
+
+  std::string title_;
+  std::vector<std::unique_ptr<Env>> envs_;
+  std::vector<double> episode_scores_;
+  std::vector<double> running_returns_;
+  std::int64_t episodes_completed_ = 0;
+};
+
+}  // namespace a3cs::arcade

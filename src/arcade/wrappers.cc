@@ -1,0 +1,60 @@
+#include "arcade/wrappers.h"
+
+#include <cstring>
+
+#include "arcade/games.h"
+#include "util/logging.h"
+
+namespace a3cs::arcade {
+
+FrameStackEnv::FrameStackEnv(std::unique_ptr<Env> inner, int num_frames)
+    : inner_(std::move(inner)), num_frames_(num_frames) {
+  A3CS_CHECK(inner_ != nullptr, "FrameStackEnv: null inner env");
+  A3CS_CHECK(num_frames >= 2, "FrameStackEnv: need at least 2 frames");
+}
+
+ObsSpec FrameStackEnv::obs_spec() const {
+  ObsSpec spec = inner_->obs_spec();
+  spec.channels *= num_frames_;
+  return spec;
+}
+
+Tensor FrameStackEnv::stacked() const {
+  const ObsSpec inner_spec = inner_->obs_spec();
+  Tensor out(tensor::Shape::nchw(1, inner_spec.channels * num_frames_,
+                                 inner_spec.height, inner_spec.width));
+  const std::int64_t frame = history_.front().numel();
+  std::int64_t offset = 0;
+  for (const Tensor& t : history_) {
+    std::memcpy(out.data() + offset, t.data(),
+                static_cast<std::size_t>(frame) * sizeof(float));
+    offset += frame;
+  }
+  return out;
+}
+
+Tensor FrameStackEnv::reset() {
+  const Tensor first = inner_->reset();
+  history_.clear();
+  // The pre-episode history is the initial frame repeated, the standard
+  // convention.
+  for (int i = 0; i < num_frames_; ++i) history_.push_back(first);
+  return stacked();
+}
+
+StepResult FrameStackEnv::step(int action) {
+  StepResult r = inner_->step(action);
+  history_.pop_front();
+  history_.push_back(r.obs);
+  r.obs = stacked();
+  return r;
+}
+
+std::unique_ptr<Env> make_stacked_game(const std::string& title,
+                                       std::uint64_t seed_value,
+                                       int num_frames) {
+  return std::make_unique<FrameStackEnv>(make_game(title, seed_value),
+                                         num_frames);
+}
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,42 @@
+// Environment wrappers.
+//
+// FrameStack: concatenates the last N observations along the channel axis,
+// exposing temporal information (e.g. ball velocity in Breakout/Pong) that a
+// single MiniArcade frame does not contain — the same role the 4-frame stack
+// plays in the paper's Atari setup. Opt-in: the benches use single frames to
+// match the bench-calibrated model zoo, but any agent can be built against a
+// stacked spec since all model builders take the ObsSpec from the env.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "arcade/env.h"
+
+namespace a3cs::arcade {
+
+class FrameStackEnv : public Env {
+ public:
+  FrameStackEnv(std::unique_ptr<Env> inner, int num_frames);
+
+  Tensor reset() override;
+  StepResult step(int action) override;
+  int num_actions() const override { return inner_->num_actions(); }
+  ObsSpec obs_spec() const override;
+  std::string name() const override { return inner_->name(); }
+  void seed(std::uint64_t s) override { inner_->seed(s); }
+
+ private:
+  Tensor stacked() const;
+
+  std::unique_ptr<Env> inner_;
+  int num_frames_;
+  std::deque<Tensor> history_;  // most recent frame at the back
+};
+
+// Convenience: make_game + FrameStack in one call.
+std::unique_ptr<Env> make_stacked_game(const std::string& title,
+                                       std::uint64_t seed_value,
+                                       int num_frames);
+
+}  // namespace a3cs::arcade

@@ -1,0 +1,194 @@
+#include "core/cosearch.h"
+
+#include "arcade/games.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace a3cs::core {
+
+using tensor::Tensor;
+
+namespace {
+
+std::unique_ptr<nas::Supernet> build_supernet(const std::string& game_title,
+                                              const CoSearchConfig& cfg,
+                                              nas::Supernet** raw) {
+  auto probe = arcade::make_game(game_title, 1);
+  util::Rng rng(cfg.seed);
+  auto supernet =
+      std::make_unique<nas::Supernet>(probe->obs_spec(), cfg.supernet, rng);
+  *raw = supernet.get();
+  return supernet;
+}
+
+}  // namespace
+
+CoSearchEngine::CoSearchEngine(const std::string& game_title,
+                               CoSearchConfig cfg, nn::ActorCriticNet* teacher)
+    : cfg_(cfg),
+      game_title_(game_title),
+      envs_(game_title, cfg.a2c.num_envs, cfg.seed + 1),
+      supernet_(nullptr),
+      teacher_(teacher),
+      collector_(envs_, util::Rng(cfg.seed + 2)),
+      space_(cfg.num_chunks,
+             /*num_groups=*/cfg.supernet.space.num_cells + 2),
+      predictor_(),
+      next_tau_decay_(cfg.tau_decay_every_frames) {
+  auto supernet = build_supernet(game_title, cfg_, &supernet_);
+  const int feature_dim = supernet_->feature_dim();
+  auto probe = arcade::make_game(game_title, 1);
+  util::Rng rng(cfg_.seed + 3);
+  net_ = std::make_unique<nn::ActorCriticNet>(std::move(supernet), feature_dim,
+                                              probe->num_actions(), rng);
+  das_ = std::make_unique<das::DasEngine>(space_, predictor_, cfg_.das);
+  if (teacher_ == nullptr) {
+    // Without a teacher the distillation terms must be off regardless of the
+    // configured coefficients.
+    cfg_.a2c.loss.distill_actor = 0.0;
+    cfg_.a2c.loss.distill_critic = 0.0;
+  }
+}
+
+void CoSearchEngine::apply_cost_penalty_to_alpha() {
+  // Eq. 8: the activated operator of each cell is charged the layer-wise
+  // cycle count it incurs on the current optimal accelerator hw(phi*). The
+  // single-path sample of the most recent (training) forward stands in for
+  // the final network (Sec. IV-A's chicken-and-egg approximation).
+  const std::vector<int> choices = supernet_->last_choices();
+  const auto specs = supernet_->specs_for(choices);
+  const accel::HwEval eval = das_->derive_eval(specs);
+  for (int cell = 0; cell < supernet_->num_cells(); ++cell) {
+    const double cycles = eval.group_cycles(specs, cell + 1);
+    const double penalty = cfg_.lambda * cycles / cfg_.cost_norm_cycles;
+    supernet_->cell(cell).alpha().add_grad(
+        choices[static_cast<std::size_t>(cell)], static_cast<float>(penalty));
+  }
+}
+
+void CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
+                                   nn::Optimizer& alpha_opt, bool update_theta,
+                                   bool update_alpha) {
+  // (1) Rollout with the sampled single-path policy.
+  const rl::Rollout rollout = collector_.collect(*net_, cfg_.a2c.rollout_len);
+
+  // (2) Accelerator step phi -> phi' on the network sampled during the
+  // rollout (Alg. 1 line "Update phi in Eq. 9").
+  if (cfg_.hardware_aware) {
+    const auto specs = supernet_->specs_for(supernet_->last_choices());
+    das_->step(specs, cfg_.das_steps_per_iter);
+  }
+
+  // (3) Task loss: forward the stacked rollout batch, compute head grads,
+  // backprop through the supernet. This accumulates BOTH theta and alpha
+  // gradients in one pass; which of them are applied is decided in step (5)
+  // (both for one-level, alternating for bi-level).
+  const auto boot = net_->forward(rollout.last_obs);
+  const Tensor batch_obs = rollout.stacked_obs();
+  const auto ac = net_->forward(batch_obs);
+  const rl::Targets targets =
+      rl::compute_targets(rollout.rewards, rollout.dones, ac.value,
+                          boot.value, cfg_.a2c.gamma, cfg_.a2c.advantage);
+
+  std::vector<int> actions;
+  for (const auto& step_actions : rollout.actions) {
+    actions.insert(actions.end(), step_actions.begin(), step_actions.end());
+  }
+
+  Tensor teacher_probs, teacher_values;
+  rl::LossCoefficients coef = cfg_.a2c.loss;
+  if (teacher_ != nullptr &&
+      (coef.distill_actor != 0.0 || coef.distill_critic != 0.0)) {
+    const auto tea = teacher_->forward(batch_obs);
+    teacher_probs = Tensor(tea.logits.shape());
+    tensor::softmax_rows(tea.logits, teacher_probs);
+    teacher_values = tea.value;
+  } else {
+    coef.distill_actor = 0.0;
+    coef.distill_critic = 0.0;
+  }
+
+  rl::LossInputs in;
+  in.logits = &ac.logits;
+  in.values = &ac.value;
+  in.actions = &actions;
+  in.advantages = &targets.advantages;
+  in.returns = &targets.returns;
+  if (coef.distill_actor != 0.0 || coef.distill_critic != 0.0) {
+    in.teacher_probs = &teacher_probs;
+    in.teacher_values = &teacher_values;
+  }
+  const rl::HeadGradients grads = rl::task_loss(in, coef, nullptr);
+
+  net_->zero_grad();
+  supernet_->zero_alpha_grads();
+  net_->backward(grads.dlogits, grads.dvalue);
+
+  // (4) Hardware-cost penalty on alpha (Eq. 8), using the choices of the
+  // training forward.
+  if (cfg_.hardware_aware && update_alpha) {
+    apply_cost_penalty_to_alpha();
+  }
+
+  // (5) Parameter updates.
+  if (update_theta) {
+    auto params = net_->parameters();
+    nn::clip_grad_norm(params, static_cast<float>(cfg_.a2c.grad_clip));
+    theta_opt.step(params);
+  }
+  if (update_alpha) {
+    auto alphas = supernet_->alpha_params();
+    alpha_opt.step(alphas);
+  }
+}
+
+CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
+                                   Callback callback,
+                                   std::int64_t callback_every) {
+  nn::RmsProp theta_opt(cfg_.a2c.lr_start);
+  nn::Adam alpha_opt(cfg_.alpha_lr);
+  const nn::LinearLrSchedule schedule(
+      cfg_.a2c.lr_start, cfg_.a2c.lr_end,
+      static_cast<std::int64_t>(cfg_.a2c.lr_hold_frac *
+                                static_cast<double>(total_frames)),
+      total_frames);
+
+  std::int64_t next_callback = callback_every;
+  bool alpha_turn = false;  // bi-level: alternate theta / alpha rollouts
+  while (collector_.frames() < total_frames) {
+    theta_opt.set_learning_rate(schedule.at(collector_.frames()));
+    if (cfg_.optimization == Optimization::kOneLevel) {
+      one_iteration(theta_opt, alpha_opt, /*update_theta=*/true,
+                    /*update_alpha=*/true);
+    } else {
+      // Bi-level (one-step approximation, as in DARTS-style NACoS): theta on
+      // this rollout, alpha on the next, never both — the alpha gradient is
+      // then taken at stale weights, which is exactly the bias the paper's
+      // Sec. V-D ablation exposes.
+      one_iteration(theta_opt, alpha_opt, /*update_theta=*/!alpha_turn,
+                    /*update_alpha=*/alpha_turn);
+      alpha_turn = !alpha_turn;
+    }
+
+    while (collector_.frames() >= next_tau_decay_) {
+      supernet_->decay_temperature();
+      next_tau_decay_ += cfg_.tau_decay_every_frames;
+    }
+    if (callback && callback_every > 0 && collector_.frames() >= next_callback) {
+      callback(collector_.frames());
+      next_callback += callback_every;
+    }
+  }
+
+  CoSearchResult result;
+  result.arch = supernet_->derive();
+  result.frames = collector_.frames();
+  const auto final_specs = supernet_->specs_for(result.arch.choices);
+  if (cfg_.hardware_aware) {
+    result.accelerator = das_->derive();
+    result.hw_eval = predictor_.evaluate(final_specs, result.accelerator);
+  }
+  return result;
+}
+
+}  // namespace a3cs::core

@@ -1,0 +1,95 @@
+// The A3C-S co-search engine (paper Alg. 1): joint differentiable search over
+// DRL agent architectures (alpha, via the supernet) and accelerator designs
+// (phi, via the DAS engine), trained with the AC-distillation-stabilized A2C
+// objective. Each iteration:
+//
+//   1. roll out `rollout_len` steps with the single-path-sampled supernet
+//      policy (Eq. 6),
+//   2. update phi on the currently sampled network (Eq. 9, the "chicken-and-
+//      egg" approximation of Sec. IV-A),
+//   3. one A2C update of the supernet weights theta_pi/theta_v and the
+//      architecture parameters alpha on L_task (Eq. 12, multi-path backward
+//      Eq. 7), plus the layer-wise hardware-cost penalty on alpha (Eq. 8)
+//      evaluated on hw(phi*),
+//
+// using one-level optimization by default; the bi-level ablation (Sec. V-D)
+// alternates theta updates on one rollout and alpha updates on the next.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arcade/vec_env.h"
+#include "das/das.h"
+#include "nas/supernet.h"
+#include "nn/actor_critic.h"
+#include "rl/a2c.h"
+
+namespace a3cs::core {
+
+enum class Optimization { kOneLevel, kBiLevel };
+
+struct CoSearchConfig {
+  nas::SupernetConfig supernet;
+  rl::A2cConfig a2c;            // distillation coefficients included
+  das::DasConfig das;
+  int num_chunks = 4;
+  // Weight of L_cost in the alpha update (lambda of Eq. 4) applied to the
+  // per-cell cycle count normalized by `cost_norm_cycles`.
+  double lambda = 0.05;
+  double cost_norm_cycles = 1e5;
+  int das_steps_per_iter = 1;
+  double alpha_lr = 1e-3;       // paper: Adam, lr 1e-3
+  // Temperature decay cadence in env frames (paper: x0.98 every 1e5 steps,
+  // scaled to our shorter runs).
+  std::int64_t tau_decay_every_frames = 2000;
+  Optimization optimization = Optimization::kOneLevel;
+  bool hardware_aware = true;   // false = pure NAS (Fig. 2's search schemes)
+  std::uint64_t seed = 21;
+};
+
+struct CoSearchResult {
+  nas::DerivedArch arch;
+  accel::AcceleratorConfig accelerator;
+  accel::HwEval hw_eval;
+  std::int64_t frames = 0;
+};
+
+class CoSearchEngine {
+ public:
+  // `teacher` may be null => no distillation (the Direct-NAS baseline).
+  CoSearchEngine(const std::string& game_title, CoSearchConfig cfg,
+                 nn::ActorCriticNet* teacher);
+
+  // Runs the search for `total_frames` env frames. The callback (if set)
+  // fires every `callback_every` frames — benches evaluate the supernet
+  // inside it to record Fig. 2's score-evolution curves.
+  using Callback = std::function<void(std::int64_t frames)>;
+  CoSearchResult run(std::int64_t total_frames, Callback callback = nullptr,
+                     std::int64_t callback_every = 0);
+
+  nas::Supernet& supernet() { return *supernet_; }
+  nn::ActorCriticNet& net() { return *net_; }
+  das::DasEngine& das_engine() { return *das_; }
+  const CoSearchConfig& config() const { return cfg_; }
+
+ private:
+  void apply_cost_penalty_to_alpha();
+  void one_iteration(nn::Optimizer& theta_opt, nn::Optimizer& alpha_opt,
+                     bool update_theta, bool update_alpha);
+
+  CoSearchConfig cfg_;
+  std::string game_title_;
+  arcade::VecEnv envs_;
+  nas::Supernet* supernet_;  // owned by net_'s backbone
+  std::unique_ptr<nn::ActorCriticNet> net_;
+  nn::ActorCriticNet* teacher_;
+  rl::RolloutCollector collector_;
+  accel::AcceleratorSpace space_;
+  accel::Predictor predictor_;
+  std::unique_ptr<das::DasEngine> das_;
+  std::int64_t next_tau_decay_;
+};
+
+}  // namespace a3cs::core

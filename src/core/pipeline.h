@@ -1,0 +1,67 @@
+// End-to-end A3C-S pipeline (what Fig. 3 / Table III measure):
+//   1. co-search agent + accelerator on the target game,
+//   2. train the derived agent from scratch with AC-distillation,
+//   3. run the full DAS on the final network for the deployment accelerator,
+//   4. report (test score, FPS).
+// Plus the shared helpers the benchmark harnesses use to train/evaluate zoo
+// and derived agents under identical settings.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cosearch.h"
+#include "rl/eval.h"
+#include "rl/teacher.h"
+
+namespace a3cs::core {
+
+struct PipelineConfig {
+  CoSearchConfig cosearch;
+  std::int64_t search_frames = 20000;
+  std::int64_t train_frames = 30000;   // derived-agent training budget
+  das::DasConfig final_das;            // deployment accelerator search
+  rl::EvalConfig eval;
+};
+
+struct PipelineResult {
+  nas::DerivedArch arch;
+  double test_score = 0.0;
+  accel::AcceleratorConfig accelerator;
+  accel::HwEval hw;
+  std::vector<nn::LayerSpec> specs;
+  std::unique_ptr<nn::ActorCriticNet> trained_net;
+};
+
+PipelineResult run_a3cs_pipeline(const std::string& game_title,
+                                 const PipelineConfig& cfg,
+                                 nn::ActorCriticNet* teacher);
+
+// Trains a fresh agent realizing `arch` on `game_title` (AC-distillation if
+// `teacher` != null) and returns the net + its specs.
+struct TrainedAgent {
+  std::unique_ptr<nn::ActorCriticNet> net;
+  std::vector<nn::LayerSpec> specs;
+};
+TrainedAgent train_derived_agent(const std::string& game_title,
+                                 const nas::DerivedArch& arch,
+                                 const nas::SearchSpaceConfig& space,
+                                 std::int64_t frames,
+                                 const rl::A2cConfig& a2c,
+                                 nn::ActorCriticNet* teacher,
+                                 std::uint64_t seed_value);
+
+// Trains a zoo model ("Vanilla", "ResNet-14", ...) under the same protocol.
+TrainedAgent train_zoo_agent_on_game(const std::string& game_title,
+                                     const std::string& model_name,
+                                     std::int64_t frames,
+                                     const rl::A2cConfig& a2c,
+                                     nn::ActorCriticNet* teacher,
+                                     std::uint64_t seed_value);
+
+// Full DAS accelerator search for a fixed network.
+accel::HwEval search_accelerator(const std::vector<nn::LayerSpec>& specs,
+                                 int num_chunks, const das::DasConfig& cfg,
+                                 accel::AcceleratorConfig* out_config = nullptr);
+
+}  // namespace a3cs::core

@@ -1,0 +1,26 @@
+// Persistence of co-search outcomes: the (architecture, accelerator) pair a
+// search produced, plus its headline metrics. Lets deployment tooling (or a
+// later session) re-evaluate and retrain searched designs without rerunning
+// the search.
+#pragma once
+
+#include <string>
+
+#include "accel/hw_types.h"
+#include "nas/arch.h"
+
+namespace a3cs::core {
+
+struct SavedResult {
+  nas::DerivedArch arch;
+  accel::AcceleratorConfig accelerator;
+  double test_score = 0.0;
+  double fps = 0.0;
+  std::string game;
+};
+
+// Plain-text key=value file, one key per line.
+void save_result(const std::string& path, const SavedResult& result);
+SavedResult load_result(const std::string& path);
+
+}  // namespace a3cs::core

@@ -1,0 +1,210 @@
+#include "das/das.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace a3cs::das {
+
+DasEngine::DasEngine(const AcceleratorSpace& space, const Predictor& predictor,
+                     DasConfig cfg)
+    : space_(space),
+      predictor_(predictor),
+      cfg_(cfg),
+      opt_(cfg.lr),
+      rng_(cfg.seed),
+      tau_(cfg.tau_init) {
+  for (const auto& knob : space.knobs()) {
+    phis_.emplace_back(knob.name, knob.num_choices);
+  }
+}
+
+double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
+  double last_cost = 0.0;
+  std::vector<nn::Parameter*> params;
+  params.reserve(phis_.size());
+  for (auto& phi : phis_) params.push_back(&phi.param());
+
+  for (int it = 0; it < n; ++it) {
+    const int samples_per_iter = std::max(1, cfg_.samples_per_iter);
+    for (int s = 0; s < samples_per_iter; ++s) {
+      // Exploration sample: uniform over the space, incumbent-only (it is
+      // off-policy, so it must not feed the relaxed-gradient estimator).
+      if (rng_.uniform() < cfg_.explore_eps) {
+        const auto uniform_choices = space_.random_choices(rng_);
+        const AcceleratorConfig config = space_.decode(uniform_choices);
+        const HwEval eval = predictor_.evaluate(specs, config);
+        const double cost = predictor_.scalar_cost(eval);
+        if (!has_best_seen_ || (eval.feasible && !best_seen_eval_.feasible) ||
+            (eval.feasible == best_seen_eval_.feasible &&
+             cost < best_seen_cost_)) {
+          has_best_seen_ = true;
+          best_seen_config_ = config;
+          best_seen_eval_ = eval;
+          best_seen_cost_ = cost;
+        }
+        continue;
+      }
+      // Hard-sample every knob to build one concrete accelerator.
+      std::vector<nas::GumbelSample> samples;
+      std::vector<int> choices;
+      samples.reserve(phis_.size());
+      choices.reserve(phis_.size());
+      for (auto& phi : phis_) {
+        samples.push_back(phi.sample(rng_, tau_));
+        choices.push_back(samples.back().index);
+      }
+      const AcceleratorConfig config = space_.decode(choices);
+      const HwEval eval = predictor_.evaluate(specs, config);
+      const double cost = predictor_.scalar_cost(eval);
+      last_cost = cost;
+      if (!has_best_seen_ || (eval.feasible && !best_seen_eval_.feasible) ||
+          (eval.feasible == best_seen_eval_.feasible &&
+           cost < best_seen_cost_)) {
+        has_best_seen_ = true;
+        best_seen_config_ = config;
+        best_seen_eval_ = eval;
+        best_seen_cost_ = cost;
+      }
+
+      double signal = cfg_.log_cost ? std::log(cost + 1e-9) : cost;
+      if (cfg_.use_baseline) {
+        if (!baseline_init_) {
+          baseline_ = signal;
+          baseline_init_ = true;
+        } else {
+          baseline_ = 0.95 * baseline_ + 0.05 * signal;
+        }
+        signal -= baseline_;
+      }
+      signal /= samples_per_iter;
+
+      // The hard one-hot made only the sampled choice contribute, so each
+      // knob's sensitivity vector is zero except at the sampled index (the
+      // relaxed softmax then spreads the gradient over all logits).
+      for (std::size_t m = 0; m < phis_.size(); ++m) {
+        std::vector<float> sens(
+            static_cast<std::size_t>(phis_[m].num_choices()), 0.0f);
+        sens[static_cast<std::size_t>(samples[m].index)] =
+            static_cast<float>(signal);
+        phis_[m].accumulate_grad(samples[m], sens, tau_);
+      }
+    }
+    opt_.step(params);
+    for (nn::Parameter* p : params) p->grad.zero();
+
+    tau_ = std::max(cfg_.tau_min, tau_ * cfg_.tau_decay);
+  }
+  return last_cost;
+}
+
+AcceleratorConfig DasEngine::derive() const {
+  std::vector<int> choices;
+  choices.reserve(phis_.size());
+  for (const auto& phi : phis_) choices.push_back(phi.argmax());
+  return space_.decode(choices);
+}
+
+HwEval DasEngine::derive_eval(const std::vector<nn::LayerSpec>& specs) const {
+  return predictor_.evaluate(specs, derive());
+}
+
+DasResult DasEngine::search(const std::vector<nn::LayerSpec>& specs) {
+  DasResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  result.cost_curve.reserve(static_cast<std::size_t>(cfg_.iterations));
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    const double cost = step(specs, 1);
+    result.cost_curve.push_back(cost);
+    // Track the best *derived* config periodically (and at the end).
+    if ((it + 1) % 25 == 0 || it + 1 == cfg_.iterations) {
+      const AcceleratorConfig cand = derive();
+      const HwEval eval = predictor_.evaluate(specs, cand);
+      const double cand_cost = predictor_.scalar_cost(eval);
+      if (!have_best || (eval.feasible && !result.eval.feasible) ||
+          (eval.feasible == result.eval.feasible &&
+           cand_cost < result.best_cost)) {
+        have_best = true;
+        result.config = cand;
+        result.eval = eval;
+        result.best_cost = cand_cost;
+      }
+    }
+  }
+  // The incumbent (best sampled candidate) may beat the derived argmax; the
+  // search's answer is whichever is better under the same cost model.
+  if (has_best_seen_ &&
+      ((best_seen_eval_.feasible && !result.eval.feasible) ||
+       (best_seen_eval_.feasible == result.eval.feasible &&
+        best_seen_cost_ < result.best_cost))) {
+    result.config = best_seen_config_;
+    result.eval = best_seen_eval_;
+    result.best_cost = best_seen_cost_;
+  }
+  return result;
+}
+
+DasResult random_search(const AcceleratorSpace& space,
+                        const Predictor& predictor,
+                        const std::vector<nn::LayerSpec>& specs, int samples,
+                        std::uint64_t seed_value) {
+  util::Rng rng(seed_value);
+  DasResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  for (int i = 0; i < samples; ++i) {
+    const auto choices = space.random_choices(rng);
+    const AcceleratorConfig config = space.decode(choices);
+    const HwEval eval = predictor.evaluate(specs, config);
+    const double cost = predictor.scalar_cost(eval);
+    result.cost_curve.push_back(cost);
+    if (!have_best || (eval.feasible && !result.eval.feasible) ||
+        (eval.feasible == result.eval.feasible && cost < result.best_cost)) {
+      have_best = true;
+      result.config = config;
+      result.eval = eval;
+      result.best_cost = cost;
+    }
+  }
+  return result;
+}
+
+DasResult exhaustive_search(const AcceleratorSpace& space,
+                            const Predictor& predictor,
+                            const std::vector<nn::LayerSpec>& specs,
+                            double max_configs) {
+  A3CS_CHECK(space.size() <= max_configs,
+             "exhaustive_search: space too large to enumerate");
+  DasResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  std::vector<int> choices(static_cast<std::size_t>(space.num_knobs()), 0);
+  while (true) {
+    const AcceleratorConfig config = space.decode(choices);
+    const HwEval eval = predictor.evaluate(specs, config);
+    const double cost = predictor.scalar_cost(eval);
+    if (!have_best || (eval.feasible && !result.eval.feasible) ||
+        (eval.feasible == result.eval.feasible && cost < result.best_cost)) {
+      have_best = true;
+      result.config = config;
+      result.eval = eval;
+      result.best_cost = cost;
+    }
+    // Odometer increment.
+    int k = 0;
+    for (; k < space.num_knobs(); ++k) {
+      if (++choices[static_cast<std::size_t>(k)] <
+          space.knobs()[static_cast<std::size_t>(k)].num_choices) {
+        break;
+      }
+      choices[static_cast<std::size_t>(k)] = 0;
+    }
+    if (k == space.num_knobs()) break;
+  }
+  return result;
+}
+
+}  // namespace a3cs::das

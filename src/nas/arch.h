@@ -1,0 +1,69 @@
+// Search-space geometry and derived-architecture construction.
+//
+// The supernet follows the paper's setup (Sec. V-A): a fixed stem conv
+// (stride 2, like the ResNets' first conv), `num_cells` sequential searchable
+// cells laid out in 3 stages with widths (w, 2w, 4w) — strides 2 at stage
+// boundaries, mirroring the ResNet group structure — and a fixed FC-256
+// feature layer. An architecture is simply the vector of per-cell candidate
+// indices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nas/ops.h"
+#include "nn/obs_spec.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace a3cs::nas {
+
+struct SearchSpaceConfig {
+  int num_cells = 12;   // paper: 12 searchable cells -> 9^12 networks
+  int base_width = 8;   // stage widths: w, 2w, 4w
+};
+
+struct CellGeometry {
+  int in_c = 0, out_c = 0;
+  int stride = 1;
+  int in_h = 0, in_w = 0;
+  int out_h = 0, out_w = 0;
+};
+
+struct SpaceGeometry {
+  nn::LayerSpec stem;                // fixed stride-2 stem conv
+  std::vector<CellGeometry> cells;   // searchable cells
+  nn::LayerSpec fc;                  // fixed FC-256 feature layer
+  int feature_dim = 0;
+};
+
+// Computes the full geometry of the search space for an observation spec.
+SpaceGeometry space_geometry(const nn::ObsSpec& obs,
+                             const SearchSpaceConfig& cfg);
+
+// Number of distinct architectures (ops^cells) as a double (it overflows
+// int64 at paper scale).
+double search_space_size(const SearchSpaceConfig& cfg);
+
+struct DerivedArch {
+  std::vector<int> choices;  // one candidate index per cell
+
+  std::string to_string() const;            // e.g. "conv3-ir5x3-skip-..."
+  // Inverse of to_string(); throws on unknown operator ids.
+  static DerivedArch from_string(const std::string& s);
+  static DerivedArch random(const SearchSpaceConfig& cfg, util::Rng& rng);
+};
+
+// Builds a plain (non-searchable) backbone realizing `arch`, plus its
+// accelerator-facing LayerSpecs.
+nn::BackboneBuild build_derived_backbone(const DerivedArch& arch,
+                                         const nn::ObsSpec& obs,
+                                         const SearchSpaceConfig& cfg,
+                                         util::Rng& rng);
+
+// LayerSpecs of `arch` without constructing modules.
+std::vector<nn::LayerSpec> derived_specs(const DerivedArch& arch,
+                                         const nn::ObsSpec& obs,
+                                         const SearchSpaceConfig& cfg);
+
+}  // namespace a3cs::nas

@@ -1,0 +1,89 @@
+#include "nas/mixed_op.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace a3cs::nas {
+
+MixedOp::MixedOp(std::string name, int in_c, int out_c, int stride,
+                 util::Rng& rng, util::Rng* sampler, const double* tau,
+                 int backward_paths)
+    : name_(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      stride_(stride),
+      alpha_(name_ + ".alpha", static_cast<int>(candidate_ops().size())),
+      sampler_(sampler),
+      tau_(tau),
+      backward_paths_(backward_paths) {
+  A3CS_CHECK(sampler_ != nullptr && tau_ != nullptr,
+             "MixedOp needs a shared sampler and temperature");
+  const int n = static_cast<int>(candidate_ops().size());
+  A3CS_CHECK(backward_paths_ >= 1 && backward_paths_ <= n,
+             "MixedOp: K must be in [1, N]");
+  for (int i = 0; i < n; ++i) {
+    ops_.push_back(make_candidate(
+        i, name_ + ".op" + std::to_string(i), in_c, out_c, stride, rng));
+  }
+}
+
+nn::Tensor MixedOp::forward(const nn::Tensor& x) {
+  if (argmax_mode_) {
+    last_sample_.index = alpha_.argmax();
+    last_sample_.relaxed.assign(static_cast<std::size_t>(num_candidates()),
+                                0.0f);
+    last_sample_.relaxed[static_cast<std::size_t>(last_sample_.index)] = 1.0f;
+  } else {
+    last_sample_ = alpha_.sample(*sampler_, *tau_);
+  }
+  cached_input_ = x;
+  cached_output_ =
+      ops_[static_cast<std::size_t>(last_sample_.index)]->forward(x);
+  has_cache_ = true;
+  return cached_output_;
+}
+
+nn::Tensor MixedOp::backward(const nn::Tensor& grad_out) {
+  A3CS_CHECK(has_cache_, name_ + ": backward before forward");
+
+  // --- alpha gradient via the relaxed top-K paths (Eq. 7) ---------------
+  if (!argmax_mode_) {
+    const int n = num_candidates();
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min(backward_paths_, n),
+                      order.end(), [&](int a, int b) {
+                        return last_sample_.relaxed[static_cast<std::size_t>(
+                                   a)] >
+                               last_sample_.relaxed[static_cast<std::size_t>(
+                                   b)];
+                      });
+    std::vector<float> sens(static_cast<std::size_t>(n), 0.0f);
+    for (int r = 0; r < std::min(backward_paths_, n); ++r) {
+      const int k = order[static_cast<std::size_t>(r)];
+      // <dL/dOut, O_k(x)>: reuse the cached output for the activated path;
+      // evaluate a fresh forward (no backward) for the others.
+      const nn::Tensor& out_k =
+          (k == last_sample_.index)
+              ? cached_output_
+              : ops_[static_cast<std::size_t>(k)]->forward(cached_input_);
+      sens[static_cast<std::size_t>(k)] = grad_out.dot(out_k);
+    }
+    alpha_.accumulate_grad(last_sample_, sens, *tau_);
+  }
+
+  // --- weight/input gradient through the single activated path ----------
+  nn::Tensor grad_in =
+      ops_[static_cast<std::size_t>(last_sample_.index)]->backward(grad_out);
+  has_cache_ = false;
+  return grad_in;
+}
+
+void MixedOp::collect_parameters(std::vector<nn::Parameter*>& out) {
+  for (auto& op : ops_) op->collect_parameters(out);
+}
+
+}  // namespace a3cs::nas

@@ -1,0 +1,71 @@
+#include "nas/ops.h"
+
+#include "nn/blocks.h"
+#include "nn/layers.h"
+#include "util/logging.h"
+
+namespace a3cs::nas {
+
+const std::vector<CandidateOp>& candidate_ops() {
+  static const std::vector<CandidateOp> ops = {
+      {"conv3", 3, 0, false},   {"conv5", 5, 0, false},
+      {"ir3x1", 3, 1, false},   {"ir3x3", 3, 3, false},
+      {"ir3x5", 3, 5, false},   {"ir5x1", 5, 1, false},
+      {"ir5x3", 5, 3, false},   {"ir5x5", 5, 5, false},
+      {"skip", 1, 0, true},
+  };
+  return ops;
+}
+
+std::unique_ptr<nn::Module> make_candidate(int op_index,
+                                           const std::string& name, int in_c,
+                                           int out_c, int stride,
+                                           util::Rng& rng) {
+  const auto& ops = candidate_ops();
+  A3CS_CHECK(op_index >= 0 && op_index < static_cast<int>(ops.size()),
+             "make_candidate: bad op index");
+  const CandidateOp& op = ops[static_cast<std::size_t>(op_index)];
+  if (op.is_skip) {
+    return std::make_unique<nn::SkipOp>(name + ".skip", in_c, out_c, stride);
+  }
+  if (op.expansion == 0) {
+    // conv -> ReLU
+    auto seq = std::make_unique<nn::Sequential>(name);
+    seq->add(std::make_unique<nn::Conv2d>(name + "." + op.id, in_c, out_c,
+                                          op.kernel, stride, op.kernel / 2,
+                                          rng));
+    seq->add(std::make_unique<nn::ReLU>(name + ".relu"));
+    return seq;
+  }
+  return std::make_unique<nn::InvertedResidual>(name + "." + op.id, in_c,
+                                                out_c, op.kernel, op.expansion,
+                                                stride, rng);
+}
+
+std::vector<nn::LayerSpec> candidate_specs(int op_index,
+                                           const std::string& name, int in_c,
+                                           int out_c, int stride, int in_h,
+                                           int in_w) {
+  using nn::LayerSpec;
+  const auto& ops = candidate_ops();
+  A3CS_CHECK(op_index >= 0 && op_index < static_cast<int>(ops.size()),
+             "candidate_specs: bad op index");
+  const CandidateOp& op = ops[static_cast<std::size_t>(op_index)];
+  std::vector<LayerSpec> out;
+  if (op.is_skip) return out;  // parameter- and MAC-free
+  if (op.expansion == 0) {
+    out.push_back(LayerSpec::conv(name + "." + op.id, in_c, out_c, op.kernel,
+                                  stride, in_h, in_w));
+    return out;
+  }
+  const int mid = in_c * op.expansion;
+  out.push_back(
+      LayerSpec::conv(name + ".expand", in_c, mid, 1, 1, in_h, in_w));
+  out.push_back(
+      LayerSpec::depthwise(name + ".dw", mid, op.kernel, stride, in_h, in_w));
+  const int oh = out.back().out_h, ow = out.back().out_w;
+  out.push_back(LayerSpec::conv(name + ".project", mid, out_c, 1, 1, oh, ow));
+  return out;
+}
+
+}  // namespace a3cs::nas

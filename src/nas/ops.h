@@ -1,0 +1,41 @@
+// The supernet's candidate operator space (paper Sec. V-A): standard
+// convolutions with kernel 3/5, inverted-residual blocks with kernel 3/5 and
+// channel expansion 1/3/5, and a skip connection — 9 operators per cell,
+// giving the paper's 9^12 network space at 12 cells.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace a3cs::nas {
+
+struct CandidateOp {
+  std::string id;   // e.g. "conv3", "ir5x3", "skip"
+  int kernel = 3;
+  int expansion = 0;  // 0 = standard conv, >0 = inverted residual
+  bool is_skip = false;
+};
+
+// The 9 candidates, in a fixed order (index = op choice everywhere).
+const std::vector<CandidateOp>& candidate_ops();
+
+// Builds the runnable module for candidate `op_index` mapping
+// (in_c, H, W) -> (out_c, H/stride, W/stride).
+std::unique_ptr<nn::Module> make_candidate(int op_index,
+                                           const std::string& name, int in_c,
+                                           int out_c, int stride,
+                                           util::Rng& rng);
+
+// The accelerator-facing LayerSpecs of candidate `op_index` at the given
+// geometry (empty for skip: it contributes no MACs).
+std::vector<nn::LayerSpec> candidate_specs(int op_index,
+                                           const std::string& name, int in_c,
+                                           int out_c, int stride, int in_h,
+                                           int in_w);
+
+}  // namespace a3cs::nas

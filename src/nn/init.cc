@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace a3cs::nn {
+
+void he_normal(Tensor& w, int fan_in, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& w, int fan_in, int fan_out, util::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void scale_init(Tensor& w, float scale) { w *= scale; }
+
+}  // namespace a3cs::nn

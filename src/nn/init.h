@@ -1,0 +1,20 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace a3cs::nn {
+
+// He (Kaiming) normal: stddev = sqrt(2 / fan_in). The default for all
+// ReLU-activated layers.
+void he_normal(Tensor& w, int fan_in, util::Rng& rng);
+
+// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)). Used for the
+// policy/value heads where we want small initial logits.
+void xavier_uniform(Tensor& w, int fan_in, int fan_out, util::Rng& rng);
+
+// Scales an already-initialized tensor (e.g. 0.01x policy head init).
+void scale_init(Tensor& w, float scale);
+
+}  // namespace a3cs::nn

@@ -1,0 +1,111 @@
+#include "nn/layer_spec.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace a3cs::nn {
+
+std::int64_t LayerSpec::macs() const {
+  const std::int64_t out_spatial =
+      static_cast<std::int64_t>(out_h) * out_w;
+  switch (kind) {
+    case Kind::kConv:
+      return out_spatial * out_c * in_c * kernel * kernel;
+    case Kind::kDepthwiseConv:
+      return out_spatial * out_c * kernel * kernel;
+    case Kind::kLinear:
+      return static_cast<std::int64_t>(in_c) * out_c;
+  }
+  return 0;
+}
+
+std::int64_t LayerSpec::params() const {
+  switch (kind) {
+    case Kind::kConv:
+      return static_cast<std::int64_t>(out_c) * in_c * kernel * kernel + out_c;
+    case Kind::kDepthwiseConv:
+      return static_cast<std::int64_t>(out_c) * kernel * kernel + out_c;
+    case Kind::kLinear:
+      return static_cast<std::int64_t>(out_c) * in_c + out_c;
+  }
+  return 0;
+}
+
+std::int64_t LayerSpec::input_elems() const {
+  return static_cast<std::int64_t>(in_c) * in_h * in_w;
+}
+
+std::int64_t LayerSpec::weight_elems() const { return params(); }
+
+std::int64_t LayerSpec::output_elems() const {
+  return static_cast<std::int64_t>(out_c) * out_h * out_w;
+}
+
+LayerSpec LayerSpec::conv(std::string name, int in_c, int out_c, int kernel,
+                          int stride, int in_h, int in_w) {
+  LayerSpec s;
+  s.kind = Kind::kConv;
+  s.name = std::move(name);
+  s.in_c = in_c;
+  s.out_c = out_c;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.in_h = in_h;
+  s.in_w = in_w;
+  const int pad = kernel / 2;
+  s.out_h = (in_h + 2 * pad - kernel) / stride + 1;
+  s.out_w = (in_w + 2 * pad - kernel) / stride + 1;
+  A3CS_CHECK(s.out_h > 0 && s.out_w > 0, "LayerSpec::conv empty output");
+  return s;
+}
+
+LayerSpec LayerSpec::depthwise(std::string name, int channels, int kernel,
+                               int stride, int in_h, int in_w) {
+  LayerSpec s = conv(std::move(name), channels, channels, kernel, stride,
+                     in_h, in_w);
+  s.kind = Kind::kDepthwiseConv;
+  return s;
+}
+
+LayerSpec LayerSpec::linear(std::string name, int in_f, int out_f) {
+  LayerSpec s;
+  s.kind = Kind::kLinear;
+  s.name = std::move(name);
+  s.in_c = in_f;
+  s.out_c = out_f;
+  s.kernel = 1;
+  s.stride = 1;
+  s.in_h = s.in_w = s.out_h = s.out_w = 1;
+  return s;
+}
+
+std::int64_t network_macs(const std::vector<LayerSpec>& specs) {
+  std::int64_t total = 0;
+  for (const auto& s : specs) total += s.macs();
+  return total;
+}
+
+std::int64_t network_params(const std::vector<LayerSpec>& specs) {
+  std::int64_t total = 0;
+  for (const auto& s : specs) total += s.params();
+  return total;
+}
+
+void assign_sequential_groups(std::vector<LayerSpec>& specs) {
+  int next = 0;
+  for (auto& s : specs) {
+    if (s.group >= 0) next = std::max(next, s.group + 1);
+  }
+  for (auto& s : specs) {
+    if (s.group < 0) s.group = next++;
+  }
+}
+
+int num_groups(const std::vector<LayerSpec>& specs) {
+  int mx = -1;
+  for (const auto& s : specs) mx = std::max(mx, s.group);
+  return mx + 1;
+}
+
+}  // namespace a3cs::nn

@@ -1,0 +1,54 @@
+// Hardware-facing description of a network: an ordered list of layer
+// workloads (convolutions / depthwise convolutions / fully-connected layers)
+// with full geometry. This is the contract between the NN/NAS side and the
+// accelerator side: the performance predictor consumes LayerSpecs only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace a3cs::nn {
+
+struct LayerSpec {
+  enum class Kind { kConv, kDepthwiseConv, kLinear };
+
+  Kind kind = Kind::kConv;
+  std::string name;
+  int in_c = 0, out_c = 0;
+  int kernel = 1;
+  int stride = 1;
+  int in_h = 1, in_w = 1;
+  int out_h = 1, out_w = 1;
+  // Structural unit this layer belongs to (stem / NAS cell / fc). The
+  // accelerator's layer->chunk allocation is per group, so it stays
+  // meaningful while NAS resamples the ops inside a cell. -1 = unassigned
+  // (assign_sequential_groups gives every layer its own group).
+  int group = -1;
+
+  // Multiply-accumulate operations for one inference.
+  std::int64_t macs() const;
+  // Learnable parameter count (weights + biases).
+  std::int64_t params() const;
+  // Input / weight / output footprints in elements.
+  std::int64_t input_elems() const;
+  std::int64_t weight_elems() const;
+  std::int64_t output_elems() const;
+
+  static LayerSpec conv(std::string name, int in_c, int out_c, int kernel,
+                        int stride, int in_h, int in_w);
+  static LayerSpec depthwise(std::string name, int channels, int kernel,
+                             int stride, int in_h, int in_w);
+  static LayerSpec linear(std::string name, int in_f, int out_f);
+};
+
+// Total MACs of a network (2*macs = FLOPs).
+std::int64_t network_macs(const std::vector<LayerSpec>& specs);
+std::int64_t network_params(const std::vector<LayerSpec>& specs);
+
+// Gives every spec with group == -1 its own group id (sequential).
+void assign_sequential_groups(std::vector<LayerSpec>& specs);
+// 1 + max group id (0 for an empty list).
+int num_groups(const std::vector<LayerSpec>& specs);
+
+}  // namespace a3cs::nn

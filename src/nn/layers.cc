@@ -1,0 +1,344 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace a3cs::nn {
+
+using tensor::ConvGeometry;
+using tensor::gemm_raw;
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(std::string name, int in_c, int out_c, int kernel, int stride,
+               int pad, util::Rng& rng)
+    : name_(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(name_ + ".weight", Shape::mat(out_c, in_c * kernel * kernel)),
+      bias_(name_ + ".bias", Shape::vec(out_c)) {
+  A3CS_CHECK(in_c > 0 && out_c > 0 && kernel > 0, "bad conv dims");
+  he_normal(weight_.value, in_c * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  A3CS_CHECK(x.shape().rank() == 4 && x.shape()[1] == in_c_,
+             name_ + ": input shape mismatch " + x.shape().to_string());
+  geom_ = ConvGeometry::make(x.shape(), kernel_, kernel_, stride_, pad_);
+  const int ckk = in_c_ * kernel_ * kernel_;
+  const int cols_per_sample = geom_.oh * geom_.ow;
+  cached_cols_ = Tensor(Shape::mat(ckk, geom_.n * cols_per_sample));
+  // im2col lays samples out contiguously along the column axis, so a single
+  // whole-batch call produces per-sample (ckk x ohw) slices.
+  tensor::im2col(x, geom_, cached_cols_);
+  has_cache_ = true;
+
+  Tensor out(Shape::nchw(geom_.n, out_c_, geom_.oh, geom_.ow));
+  const int batch_cols = geom_.n * cols_per_sample;
+  for (int n = 0; n < geom_.n; ++n) {
+    // out_slice(OC x ohw) = W(OC x ckk) @ cols_slice(ckk x ohw)
+    // cols_slice starts at column n*ohw of the (ckk x N*ohw) matrix, so we
+    // cannot use a contiguous pointer; instead run GEMM row by row.
+    float* out_slice =
+        out.data() + static_cast<std::size_t>(n) * out_c_ * cols_per_sample;
+    for (int oc = 0; oc < out_c_; ++oc) {
+      float* orow = out_slice + static_cast<std::size_t>(oc) * cols_per_sample;
+      std::fill(orow, orow + cols_per_sample, bias_.value[oc]);
+    }
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* wrow =
+          weight_.value.data() + static_cast<std::size_t>(oc) * ckk;
+      float* orow = out_slice + static_cast<std::size_t>(oc) * cols_per_sample;
+      for (int kk = 0; kk < ckk; ++kk) {
+        const float wv = wrow[kk];
+        if (wv == 0.0f) continue;
+        const float* crow = cached_cols_.data() +
+                            static_cast<std::size_t>(kk) * batch_cols +
+                            static_cast<std::size_t>(n) * cols_per_sample;
+        for (int j = 0; j < cols_per_sample; ++j) orow[j] += wv * crow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  A3CS_CHECK(has_cache_, name_ + ": backward before forward");
+  A3CS_CHECK(grad_out.shape() ==
+                 Shape::nchw(geom_.n, out_c_, geom_.oh, geom_.ow),
+             name_ + ": grad_out shape mismatch");
+  const int ckk = in_c_ * kernel_ * kernel_;
+  const int ohw = geom_.oh * geom_.ow;
+  const int batch_cols = geom_.n * ohw;
+
+  // Bias gradient: sum over batch and spatial positions.
+  for (int n = 0; n < geom_.n; ++n) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* grow = grad_out.data() +
+                          (static_cast<std::size_t>(n) * out_c_ + oc) * ohw;
+      double acc = 0.0;
+      for (int j = 0; j < ohw; ++j) acc += grow[j];
+      bias_.grad[oc] += static_cast<float>(acc);
+    }
+  }
+
+  // Weight gradient and column gradient per sample.
+  Tensor grad_cols(Shape::mat(ckk, batch_cols));
+  for (int n = 0; n < geom_.n; ++n) {
+    const float* g_slice =
+        grad_out.data() + static_cast<std::size_t>(n) * out_c_ * ohw;
+    // grad_W(OC x ckk) += g(OC x ohw) @ cols_slice^T(ohw x ckk)
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
+      float* wrow = weight_.grad.data() + static_cast<std::size_t>(oc) * ckk;
+      for (int kk = 0; kk < ckk; ++kk) {
+        const float* crow = cached_cols_.data() +
+                            static_cast<std::size_t>(kk) * batch_cols +
+                            static_cast<std::size_t>(n) * ohw;
+        double acc = 0.0;
+        for (int j = 0; j < ohw; ++j) acc += grow[j] * crow[j];
+        wrow[kk] += static_cast<float>(acc);
+      }
+    }
+    // grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw)
+    for (int kk = 0; kk < ckk; ++kk) {
+      float* gc = grad_cols.data() + static_cast<std::size_t>(kk) * batch_cols +
+                  static_cast<std::size_t>(n) * ohw;
+      std::fill(gc, gc + ohw, 0.0f);
+      for (int oc = 0; oc < out_c_; ++oc) {
+        const float wv =
+            weight_.value.data()[static_cast<std::size_t>(oc) * ckk + kk];
+        if (wv == 0.0f) continue;
+        const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
+        for (int j = 0; j < ohw; ++j) gc[j] += wv * grow[j];
+      }
+    }
+  }
+
+  Tensor grad_input(Shape::nchw(geom_.n, in_c_, geom_.h, geom_.w));
+  tensor::col2im(grad_cols, geom_, grad_input);
+  has_cache_ = false;
+  return grad_input;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+// ------------------------------------------------------- DepthwiseConv2d --
+
+DepthwiseConv2d::DepthwiseConv2d(std::string name, int channels, int kernel,
+                                 int stride, int pad, util::Rng& rng)
+    : name_(std::move(name)),
+      channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(name_ + ".weight", Shape::mat(channels, kernel * kernel)),
+      bias_(name_ + ".bias", Shape::vec(channels)) {
+  he_normal(weight_.value, kernel * kernel, rng);
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x) {
+  A3CS_CHECK(x.shape().rank() == 4 && x.shape()[1] == channels_,
+             name_ + ": input shape mismatch");
+  const auto g =
+      ConvGeometry::make(x.shape(), kernel_, kernel_, stride_, pad_);
+  cached_input_ = x;
+  has_cache_ = true;
+  Tensor out(Shape::nchw(g.n, channels_, g.oh, g.ow));
+  for (int n = 0; n < g.n; ++n) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* w =
+          weight_.value.data() + static_cast<std::size_t>(c) * kernel_ * kernel_;
+      const float b = bias_.value[c];
+      for (int oy = 0; oy < g.oh; ++oy) {
+        for (int ox = 0; ox < g.ow; ++ox) {
+          float acc = b;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ - pad_ + ky;
+            if (iy < 0 || iy >= g.h) continue;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ - pad_ + kx;
+              if (ix < 0 || ix >= g.w) continue;
+              acc += w[ky * kernel_ + kx] * x.at4(n, c, iy, ix);
+            }
+          }
+          out.at4(n, c, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  A3CS_CHECK(has_cache_, name_ + ": backward before forward");
+  const Tensor& x = cached_input_;
+  const auto g =
+      ConvGeometry::make(x.shape(), kernel_, kernel_, stride_, pad_);
+  A3CS_CHECK(grad_out.shape() == Shape::nchw(g.n, channels_, g.oh, g.ow),
+             name_ + ": grad_out shape mismatch");
+  Tensor grad_input(x.shape());
+  for (int n = 0; n < g.n; ++n) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* w =
+          weight_.value.data() + static_cast<std::size_t>(c) * kernel_ * kernel_;
+      float* wg =
+          weight_.grad.data() + static_cast<std::size_t>(c) * kernel_ * kernel_;
+      double bias_acc = 0.0;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        for (int ox = 0; ox < g.ow; ++ox) {
+          const float go = grad_out.at4(n, c, oy, ox);
+          bias_acc += go;
+          if (go == 0.0f) continue;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ - pad_ + ky;
+            if (iy < 0 || iy >= g.h) continue;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ - pad_ + kx;
+              if (ix < 0 || ix >= g.w) continue;
+              wg[ky * kernel_ + kx] += go * x.at4(n, c, iy, ix);
+              grad_input.at4(n, c, iy, ix) += go * w[ky * kernel_ + kx];
+            }
+          }
+        }
+      }
+      bias_.grad[c] += static_cast<float>(bias_acc);
+    }
+  }
+  has_cache_ = false;
+  return grad_input;
+}
+
+void DepthwiseConv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(std::string name, int in_features, int out_features,
+               util::Rng& rng, float init_scale)
+    : name_(std::move(name)),
+      in_f_(in_features),
+      out_f_(out_features),
+      weight_(name_ + ".weight", Shape::mat(out_features, in_features)),
+      bias_(name_ + ".bias", Shape::vec(out_features)) {
+  he_normal(weight_.value, in_features, rng);
+  if (init_scale != 1.0f) scale_init(weight_.value, init_scale);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  A3CS_CHECK(x.shape().rank() == 2 && x.shape()[1] == in_f_,
+             name_ + ": input shape mismatch " + x.shape().to_string());
+  cached_input_ = x;
+  has_cache_ = true;
+  const int n = x.shape()[0];
+  Tensor out(Shape::mat(n, out_f_));
+  for (int i = 0; i < n; ++i) {
+    float* orow = out.data() + static_cast<std::size_t>(i) * out_f_;
+    for (int o = 0; o < out_f_; ++o) orow[o] = bias_.value[o];
+  }
+  // out(n x OUT) += x(n x IN) @ W^T(IN x OUT)
+  gemm_raw(x.data(), false, weight_.value.data(), true, out.data(), n, in_f_,
+           out_f_, 1.0f, 1.0f);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  A3CS_CHECK(has_cache_, name_ + ": backward before forward");
+  const int n = cached_input_.shape()[0];
+  A3CS_CHECK(grad_out.shape() == Shape::mat(n, out_f_),
+             name_ + ": grad_out shape mismatch");
+  // grad_W(OUT x IN) += g^T(OUT x n) @ x(n x IN)
+  gemm_raw(grad_out.data(), true, cached_input_.data(), false,
+           weight_.grad.data(), out_f_, n, in_f_, 1.0f, 1.0f);
+  // grad_b += column sums of g
+  for (int i = 0; i < n; ++i) {
+    const float* grow = grad_out.data() + static_cast<std::size_t>(i) * out_f_;
+    for (int o = 0; o < out_f_; ++o) bias_.grad[o] += grow[o];
+  }
+  // grad_x(n x IN) = g(n x OUT) @ W(OUT x IN)
+  Tensor grad_input(Shape::mat(n, in_f_));
+  gemm_raw(grad_out.data(), false, weight_.value.data(), false,
+           grad_input.data(), n, out_f_, in_f_, 1.0f, 0.0f);
+  has_cache_ = false;
+  return grad_input;
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+// ------------------------------------------------------------------ ReLU --
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  has_cache_ = true;
+  Tensor out = x;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  A3CS_CHECK(has_cache_, name_ + ": backward before forward");
+  A3CS_CHECK(grad_out.same_shape(cached_input_),
+             name_ + ": grad_out shape mismatch");
+  Tensor grad_input = grad_out;
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad_input[i] = 0.0f;
+  }
+  has_cache_ = false;
+  return grad_input;
+}
+
+// --------------------------------------------------------------- Flatten --
+
+Tensor Flatten::forward(const Tensor& x) {
+  A3CS_CHECK(x.shape().rank() == 4, name_ + ": expects NCHW input");
+  cached_shape_ = x.shape();
+  const int n = x.shape()[0];
+  const int f = static_cast<int>(x.numel() / n);
+  return x.reshaped(Shape::mat(n, f));
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+// ------------------------------------------------------------ Sequential --
+
+Sequential& Sequential::add(std::unique_ptr<Module> m) {
+  children_.push_back(std::move(m));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& child : children_) cur = child->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->collect_parameters(out);
+}
+
+}  // namespace a3cs::nn

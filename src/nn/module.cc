@@ -1,0 +1,50 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace a3cs::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.zero();
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->numel();
+  return n;
+}
+
+void copy_parameters(Module& src, Module& dst) {
+  auto sp = src.parameters();
+  auto dp = dst.parameters();
+  A3CS_CHECK(sp.size() == dp.size(), "copy_parameters: count mismatch");
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    A3CS_CHECK(sp[i]->value.same_shape(dp[i]->value),
+               "copy_parameters: shape mismatch at " + sp[i]->name);
+    dp[i]->value = sp[i]->value;
+  }
+}
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  double total = 0.0;
+  for (const Parameter* p : params) {
+    const float n = p->grad.norm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad *= scale;
+  }
+  return norm;
+}
+
+}  // namespace a3cs::nn

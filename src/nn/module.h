@@ -1,0 +1,72 @@
+// Module-graph neural network library with exact analytical backward passes.
+//
+// Every Module owns its parameters (value + gradient) and caches whatever it
+// needs from the last forward() so that the matching backward() can compute
+// gradients without an autograd tape. A training step is:
+//
+//   auto y = net.forward(x);
+//   ... compute dL/dy analytically (the RL losses have closed forms) ...
+//   net.backward(dLdy);           // accumulates into Parameter::grad
+//   optimizer.step(net.parameters());
+//   net.zero_grad();
+//
+// backward(g) must be called at most once per forward() and returns dL/dx.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace a3cs::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// A learnable tensor plus its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+
+  std::int64_t numel() const { return value.numel(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // Computes the output for `x` and caches activations for backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  // Given dL/d(output of last forward), accumulates parameter gradients and
+  // returns dL/d(input of last forward).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  // Appends pointers to all owned parameters (depth-first, stable order).
+  virtual void collect_parameters(std::vector<Parameter*>& out) = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+  std::int64_t num_parameters();
+};
+
+// Copies parameter values from `src` to `dst` (shapes and count must match;
+// matching is positional, which is stable for identically-built networks).
+void copy_parameters(Module& src, Module& dst);
+
+// Global L2-norm gradient clipping; returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace a3cs::nn

@@ -1,0 +1,18 @@
+// Shape of an image observation (channels-first), shared between the
+// environment suite (which produces observations) and the model zoo / NAS
+// supernet (which consume them).
+#pragma once
+
+namespace a3cs::nn {
+
+struct ObsSpec {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  bool operator==(const ObsSpec& o) const {
+    return channels == o.channels && height == o.height && width == o.width;
+  }
+};
+
+}  // namespace a3cs::nn

@@ -1,0 +1,66 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace a3cs::nn {
+
+void Sgd::step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    if (momentum_ == 0.0) {
+      p->value.axpy(static_cast<float>(-lr_), p->grad);
+      continue;
+    }
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& v = it->second;
+    for (std::int64_t i = 0; i < v.numel(); ++i) {
+      v[i] = static_cast<float>(momentum_ * v[i] + p->grad[i]);
+      p->value[i] -= static_cast<float>(lr_) * v[i];
+    }
+  }
+}
+
+void RmsProp::step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    auto [it, inserted] = sq_avg_.try_emplace(p, p->value.shape());
+    Tensor& v = it->second;
+    for (std::int64_t i = 0; i < v.numel(); ++i) {
+      const double g = p->grad[i];
+      v[i] = static_cast<float>(alpha_ * v[i] + (1.0 - alpha_) * g * g);
+      p->value[i] -=
+          static_cast<float>(lr_ * g / (std::sqrt(static_cast<double>(v[i])) +
+                                        eps_));
+    }
+  }
+}
+
+void Adam::step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    auto it = state_.find(p);
+    if (it == state_.end()) {
+      it = state_.emplace(p, State{Tensor(p->value.shape()),
+                                   Tensor(p->value.shape()), 0}).first;
+    }
+    State& s = it->second;
+    ++s.t;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(s.t));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(s.t));
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const double g = p->grad[i];
+      s.m[i] = static_cast<float>(beta1_ * s.m[i] + (1.0 - beta1_) * g);
+      s.v[i] = static_cast<float>(beta2_ * s.v[i] + (1.0 - beta2_) * g * g);
+      const double mhat = s.m[i] / bc1;
+      const double vhat = s.v[i] / bc2;
+      p->value[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+double LinearLrSchedule::at(std::int64_t step) const {
+  if (step <= hold_steps_) return lr_start_;
+  if (step >= total_steps_) return lr_end_;
+  const double frac = static_cast<double>(step - hold_steps_) /
+                      static_cast<double>(total_steps_ - hold_steps_);
+  return lr_start_ + frac * (lr_end_ - lr_start_);
+}
+
+}  // namespace a3cs::nn

@@ -1,0 +1,94 @@
+// First-order optimizers. RMSProp is the paper's agent optimizer, Adam its
+// architecture-parameter optimizer; SGD(+momentum) is kept for tests and
+// ablations.
+//
+// Optimizers keep per-parameter state keyed by Parameter pointer, so a single
+// optimizer instance can be reused across calls as long as the parameter set
+// is stable (the usual case).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace a3cs::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the accumulated gradients. Does NOT zero grads.
+  virtual void step(const std::vector<Parameter*>& params) = 0;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : Optimizer(lr), momentum_(momentum) {}
+
+  void step(const std::vector<Parameter*>& params) override;
+
+ private:
+  double momentum_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+// RMSProp as in the DQN/A3C papers: v <- a*v + (1-a)*g^2; w -= lr*g/sqrt(v+eps)
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(double lr, double alpha = 0.99, double eps = 1e-5)
+      : Optimizer(lr), alpha_(alpha), eps_(eps) {}
+
+  void step(const std::vector<Parameter*>& params) override;
+
+ private:
+  double alpha_, eps_;
+  std::unordered_map<Parameter*, Tensor> sq_avg_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(const std::vector<Parameter*>& params) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    std::int64_t t = 0;
+  };
+  double beta1_, beta2_, eps_;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+// Linear learning-rate schedule matching the paper's agent schedule:
+// constant `lr_start` for the first `hold_steps`, then linear decay to
+// `lr_end` at `total_steps` (clamped afterwards).
+class LinearLrSchedule {
+ public:
+  LinearLrSchedule(double lr_start, double lr_end, std::int64_t hold_steps,
+                   std::int64_t total_steps)
+      : lr_start_(lr_start),
+        lr_end_(lr_end),
+        hold_steps_(hold_steps),
+        total_steps_(total_steps) {}
+
+  double at(std::int64_t step) const;
+
+ private:
+  double lr_start_, lr_end_;
+  std::int64_t hold_steps_, total_steps_;
+};
+
+}  // namespace a3cs::nn

@@ -1,0 +1,137 @@
+#include "nn/zoo.h"
+
+#include "nn/blocks.h"
+#include "util/logging.h"
+
+namespace a3cs::nn {
+namespace {
+
+// Tracks the activation geometry while stacking layers so module construction
+// and LayerSpec emission cannot drift apart.
+struct BackboneBuilder {
+  explicit BackboneBuilder(const ObsSpec& obs)
+      : c(obs.channels), h(obs.height), w(obs.width) {
+    seq = std::make_unique<Sequential>("backbone");
+  }
+
+  void conv_relu(const std::string& name, int out_c, int kernel, int stride,
+                 util::Rng& rng) {
+    seq->add(std::make_unique<Conv2d>(name, c, out_c, kernel, stride,
+                                      kernel / 2, rng));
+    seq->add(std::make_unique<ReLU>(name + ".relu"));
+    specs.push_back(LayerSpec::conv(name, c, out_c, kernel, stride, h, w));
+    c = out_c;
+    h = specs.back().out_h;
+    w = specs.back().out_w;
+  }
+
+  void residual(const std::string& name, int out_c, int stride,
+                util::Rng& rng) {
+    seq->add(std::make_unique<ResidualBlock>(name, c, out_c, 3, stride, rng));
+    // A residual block contributes two 3x3 convs (+ projection if shapes
+    // change); the accelerator sees them as distinct layers.
+    specs.push_back(LayerSpec::conv(name + ".conv1", c, out_c, 3, stride, h, w));
+    const int oh = specs.back().out_h, ow = specs.back().out_w;
+    specs.push_back(LayerSpec::conv(name + ".conv2", out_c, out_c, 3, 1, oh, ow));
+    if (c != out_c || stride != 1) {
+      specs.push_back(LayerSpec::conv(name + ".proj", c, out_c, 1, stride, h, w));
+    }
+    c = out_c;
+    h = oh;
+    w = ow;
+  }
+
+  void flatten_fc_relu(const std::string& name, int out_f, util::Rng& rng) {
+    seq->add(std::make_unique<Flatten>());
+    const int in_f = c * h * w;
+    seq->add(std::make_unique<Linear>(name, in_f, out_f, rng));
+    seq->add(std::make_unique<ReLU>(name + ".relu"));
+    specs.push_back(LayerSpec::linear(name, in_f, out_f));
+    c = out_f;
+    h = w = 1;
+  }
+
+  BackboneBuild finish() {
+    BackboneBuild out;
+    out.module = std::move(seq);
+    assign_sequential_groups(specs);  // zoo nets: one pipeline unit per layer
+    out.specs = std::move(specs);
+    out.feature_dim = c;
+    return out;
+  }
+
+  std::unique_ptr<Sequential> seq;
+  std::vector<LayerSpec> specs;
+  int c, h, w;
+};
+
+constexpr int kFeatureDim = 256;
+
+int blocks_for_name(const std::string& name) {
+  // Paper depths 14/20/38/74 -> (depth - 2) / 6 blocks per stage.
+  if (name == "ResNet-14") return 2;
+  if (name == "ResNet-20") return 3;
+  if (name == "ResNet-38") return 6;
+  if (name == "ResNet-74") return 12;
+  return -1;
+}
+
+}  // namespace
+
+BackboneBuild build_vanilla(const ObsSpec& obs, util::Rng& rng) {
+  BackboneBuilder b(obs);
+  // DQN's conv8x8s4 / conv4x4s2 scaled to MiniArcade frames.
+  b.conv_relu("stem", 16, 3, 2, rng);
+  b.conv_relu("conv2", 32, 3, 2, rng);
+  b.flatten_fc_relu("fc", kFeatureDim, rng);
+  return b.finish();
+}
+
+BackboneBuild build_resnet(const ObsSpec& obs, int blocks_per_stage,
+                           int base_width, util::Rng& rng) {
+  A3CS_CHECK(blocks_per_stage >= 1, "resnet needs at least one block");
+  BackboneBuilder b(obs);
+  b.conv_relu("stem", base_width, 3, 2, rng);  // paper: first conv stride 2
+  const int widths[3] = {base_width, base_width * 2, base_width * 4};
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < blocks_per_stage; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      b.residual("s" + std::to_string(stage) + "b" + std::to_string(block),
+                 widths[stage], stride, rng);
+    }
+  }
+  b.flatten_fc_relu("fc", kFeatureDim, rng);
+  return b.finish();
+}
+
+const std::vector<std::string>& zoo_model_names() {
+  static const std::vector<std::string> names = {
+      "Vanilla", "ResNet-14", "ResNet-20", "ResNet-38", "ResNet-74"};
+  return names;
+}
+
+AgentBuild build_zoo_agent(const std::string& model_name, const ObsSpec& obs,
+                           int num_actions, util::Rng& rng) {
+  BackboneBuild bb;
+  if (model_name == "Vanilla") {
+    bb = build_vanilla(obs, rng);
+  } else {
+    const int blocks = blocks_for_name(model_name);
+    A3CS_CHECK(blocks > 0, "unknown zoo model: " + model_name);
+    bb = build_resnet(obs, blocks, /*base_width=*/8, rng);
+  }
+  AgentBuild out;
+  out.specs = std::move(bb.specs);
+  out.net = std::make_unique<ActorCriticNet>(std::move(bb.module),
+                                             bb.feature_dim, num_actions, rng);
+  return out;
+}
+
+std::vector<LayerSpec> zoo_model_specs(const std::string& model_name,
+                                       const ObsSpec& obs, int num_actions) {
+  util::Rng rng(1);  // weights are discarded; only geometry matters
+  auto agent = build_zoo_agent(model_name, obs, num_actions, rng);
+  return agent.specs;
+}
+
+}  // namespace a3cs::nn

@@ -1,0 +1,33 @@
+// Agent evaluation following the paper's protocol: the test score is the
+// average over 30 episodes with random null-op starts (Sec. V-A, following
+// Mnih et al.).
+#pragma once
+
+#include <string>
+
+#include "nn/actor_critic.h"
+#include "util/rng.h"
+
+namespace a3cs::rl {
+
+struct EvalConfig {
+  int episodes = 30;        // paper: averaged over 30 episodes
+  int max_noop_starts = 30; // up to 30 random no-ops at episode start
+  bool sample_actions = true;  // stochastic policy (A3C convention)
+  std::uint64_t seed = 12345;
+};
+
+struct EvalResult {
+  double mean_score = 0.0;
+  double stddev = 0.0;
+  double min_score = 0.0;
+  double max_score = 0.0;
+  int episodes = 0;
+};
+
+// Plays `cfg.episodes` episodes of `game_title` and reports score stats.
+EvalResult evaluate_agent(nn::ActorCriticNet& net,
+                          const std::string& game_title,
+                          const EvalConfig& cfg = EvalConfig{});
+
+}  // namespace a3cs::rl

@@ -1,0 +1,171 @@
+#include "rl/losses.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace a3cs::rl {
+
+HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
+                        LossStats* stats) {
+  A3CS_CHECK(in.logits && in.values && in.actions && in.advantages &&
+                 in.returns,
+             "task_loss: missing inputs");
+  const Tensor& logits = *in.logits;
+  const Tensor& values = *in.values;
+  A3CS_CHECK(logits.shape().rank() == 2, "task_loss: logits must be (B, A)");
+  const int b = logits.shape()[0], a = logits.shape()[1];
+  A3CS_CHECK(values.shape() == tensor::Shape::mat(b, 1),
+             "task_loss: values must be (B, 1)");
+  A3CS_CHECK(static_cast<int>(in.actions->size()) == b &&
+                 static_cast<int>(in.advantages->size()) == b &&
+                 static_cast<int>(in.returns->size()) == b,
+             "task_loss: batch size mismatch");
+
+  const bool distill = coef.distill_actor != 0.0 || coef.distill_critic != 0.0;
+  if (distill) {
+    A3CS_CHECK(in.teacher_probs != nullptr && in.teacher_values != nullptr,
+               "task_loss: distillation enabled but teacher signals missing");
+    A3CS_CHECK(in.teacher_probs->shape() == logits.shape(),
+               "task_loss: teacher_probs shape mismatch");
+    A3CS_CHECK(in.teacher_values->shape() == values.shape(),
+               "task_loss: teacher_values shape mismatch");
+  }
+
+  Tensor probs(logits.shape());
+  Tensor log_probs(logits.shape());
+  tensor::softmax_rows(logits, probs);
+  tensor::log_softmax_rows(logits, log_probs);
+
+  HeadGradients out;
+  out.dlogits = Tensor(logits.shape());
+  out.dvalue = Tensor(values.shape());
+
+  LossStats s;
+  const float inv_b = 1.0f / static_cast<float>(b);
+
+  for (int i = 0; i < b; ++i) {
+    const int act = (*in.actions)[static_cast<std::size_t>(i)];
+    A3CS_CHECK(act >= 0 && act < a, "task_loss: action out of range");
+    const float adv = (*in.advantages)[static_cast<std::size_t>(i)];
+    const float ret = (*in.returns)[static_cast<std::size_t>(i)];
+    const float v = values.at2(i, 0);
+
+    // Negative entropy sum_j pi log pi of this row (paper's L_entropy).
+    double neg_ent = 0.0;
+    for (int j = 0; j < a; ++j) {
+      neg_ent += static_cast<double>(probs.at2(i, j)) * log_probs.at2(i, j);
+    }
+
+    for (int j = 0; j < a; ++j) {
+      const float p = probs.at2(i, j);
+      const float lp = log_probs.at2(i, j);
+      float g = 0.0f;
+      // Policy gradient: L_policy = -adv * log pi(a|s).
+      g += adv * (p - (j == act ? 1.0f : 0.0f));
+      // Entropy term: d(sum pi log pi)/dlogit_j = pi_j (log pi_j - sum).
+      g += static_cast<float>(coef.entropy_beta) * p *
+           (lp - static_cast<float>(neg_ent));
+      // Actor distillation: KL(teacher || student).
+      if (coef.distill_actor != 0.0) {
+        g += static_cast<float>(coef.distill_actor) *
+             (p - in.teacher_probs->at2(i, j));
+      }
+      out.dlogits.at2(i, j) = g * inv_b;
+    }
+
+    // Value head.
+    float gv = static_cast<float>(coef.value_coef) * (v - ret);
+    if (coef.distill_critic != 0.0) {
+      gv += static_cast<float>(coef.distill_critic) *
+            (v - in.teacher_values->at2(i, 0));
+    }
+    out.dvalue.at2(i, 0) = gv * inv_b;
+
+    // Scalar losses (per-sample averages accumulated below).
+    s.policy += -static_cast<double>(adv) * log_probs.at2(i, act);
+    s.value += 0.5 * static_cast<double>(v - ret) * (v - ret);
+    s.entropy += -neg_ent;
+    if (coef.distill_actor != 0.0) {
+      double kl = 0.0;
+      for (int j = 0; j < a; ++j) {
+        const double q = in.teacher_probs->at2(i, j);
+        if (q > 1e-8) {
+          kl += q * (std::log(q) - static_cast<double>(log_probs.at2(i, j)));
+        }
+      }
+      s.distill_actor += kl;
+    }
+    if (coef.distill_critic != 0.0) {
+      const double dv = v - in.teacher_values->at2(i, 0);
+      s.distill_critic += 0.5 * dv * dv;
+    }
+  }
+
+  if (stats != nullptr) {
+    const double ib = 1.0 / b;
+    stats->policy = s.policy * ib;
+    stats->value = s.value * ib;
+    stats->entropy = s.entropy * ib;
+    stats->distill_actor = s.distill_actor * ib;
+    stats->distill_critic = s.distill_critic * ib;
+    stats->total = stats->policy + coef.value_coef * stats->value -
+                   coef.entropy_beta * stats->entropy +
+                   coef.distill_actor * stats->distill_actor +
+                   coef.distill_critic * stats->distill_critic;
+  }
+  return out;
+}
+
+Targets compute_targets(const std::vector<std::vector<double>>& rewards,
+                        const std::vector<std::vector<bool>>& dones,
+                        const Tensor& values, const Tensor& bootstrap,
+                        double gamma, const AdvantageConfig& adv) {
+  const int steps = static_cast<int>(rewards.size());
+  A3CS_CHECK(steps > 0, "compute_targets: empty rollout");
+  const int n = static_cast<int>(rewards.front().size());
+  A3CS_CHECK(values.shape() == tensor::Shape::mat(steps * n, 1),
+             "compute_targets: values shape mismatch");
+  A3CS_CHECK(bootstrap.shape() == tensor::Shape::mat(n, 1),
+             "compute_targets: bootstrap shape mismatch");
+
+  Targets out;
+  out.returns.assign(static_cast<std::size_t>(steps) * n, 0.0f);
+  out.advantages.assign(static_cast<std::size_t>(steps) * n, 0.0f);
+
+  // All three estimators are the GAE recursion with different lambda:
+  //   delta_t = r_t + gamma * V(s_{t+1}) - V(s_t)
+  //   A_t     = delta_t + gamma * lambda * A_{t+1}
+  // lambda = 1 recovers the n-step estimator, lambda = 0 the pure td-error.
+  double lambda = adv.gae_lambda;
+  if (adv.mode == AdvantageConfig::Mode::kNStep) lambda = 1.0;
+  if (adv.mode == AdvantageConfig::Mode::kTdError) lambda = 0.0;
+
+  for (int e = 0; e < n; ++e) {
+    double a_next = 0.0;
+    double v_next = bootstrap.at2(e, 0);
+    for (int t = steps - 1; t >= 0; --t) {
+      const std::size_t idx = static_cast<std::size_t>(t) * n + e;
+      if (dones[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)]) {
+        // Episode ended at step t: nothing propagates across the reset.
+        a_next = 0.0;
+        v_next = 0.0;
+      }
+      const double r =
+          rewards[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+      const double v = values.at2(static_cast<int>(idx), 0);
+      const double delta = r + gamma * v_next - v;
+      const double a = delta + gamma * lambda * a_next;
+      out.advantages[idx] = static_cast<float>(a);
+      // The value target matching the estimator: A_t + V(s_t). For
+      // lambda = 1 this is exactly the n-step bootstrapped return.
+      out.returns[idx] = static_cast<float>(a + v);
+      a_next = a;
+      v_next = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace a3cs::rl

@@ -1,0 +1,88 @@
+// Closed-form gradients of the A3C-S task loss (paper Eq. 12):
+//
+//   L_task = L_policy + L_value + b1*L_entropy + b2*L_actor^distill
+//          + b3*L_critic^distill
+//
+// All five terms have exact analytical gradients at the policy logits and the
+// value output, which is where this module computes them; the network then
+// backpropagates those head gradients (see nn::ActorCriticNet::backward).
+//
+//   dL_policy/dlogit_j  = adv * (pi_j - 1[j = a])        (Eq. 2 with td-error)
+//   dL_value/dV         = (V - R)                        (Eq. 3)
+//   dL_entropy/dlogit_j = pi_j * (log pi_j - sum_k pi_k log pi_k)   (Eq. 13)
+//   dL_actor/dlogit_j   = pi_j - pi_j^teacher            (Eq. 10, KL(tea||stu))
+//   dL_critic/dV        = (V - V_teacher)                (Eq. 11)
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace a3cs::rl {
+
+using tensor::Tensor;
+
+struct LossCoefficients {
+  double value_coef = 1.0;       // weight on L_value (paper uses a plain sum)
+  double entropy_beta = 1e-2;    // beta_1 (paper Sec. V-A)
+  double distill_actor = 0.0;    // beta_2; 0 disables actor distillation
+  double distill_critic = 0.0;   // beta_3; 0 disables critic distillation
+};
+
+struct LossInputs {
+  const Tensor* logits = nullptr;         // (B, A) student policy logits
+  const Tensor* values = nullptr;         // (B, 1) student value estimates
+  const std::vector<int>* actions = nullptr;   // B chosen actions
+  const std::vector<float>* advantages = nullptr;  // B advantage estimates
+  const std::vector<float>* returns = nullptr;     // B value targets
+  // Optional teacher signals (required when the distill coefficients are
+  // non-zero):
+  const Tensor* teacher_probs = nullptr;  // (B, A)
+  const Tensor* teacher_values = nullptr; // (B, 1)
+};
+
+struct HeadGradients {
+  Tensor dlogits;  // (B, A)
+  Tensor dvalue;   // (B, 1)
+};
+
+struct LossStats {
+  double policy = 0.0;
+  double value = 0.0;
+  double entropy = 0.0;          // true entropy (positive), for logging
+  double distill_actor = 0.0;    // KL(teacher || student)
+  double distill_critic = 0.0;   // MSE between critics
+  double total = 0.0;
+};
+
+// Computes head gradients and scalar loss values. Gradients are averaged
+// over the batch (1/B), matching an expectation over the rollout.
+HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
+                        LossStats* stats = nullptr);
+
+// Advantage/return estimators over a rollout laid out step-major
+// ((t0 e0..eN-1), (t1 e0..eN-1), ...), as produced by
+// Rollout::stacked_obs(). `values` are the student's V(s_t) for every rollout
+// entry, `bootstrap` the V(s_L) for each env after the final step. Episode
+// boundaries (dones) cut all accumulation.
+//
+//   kNStep   — full-rollout bootstrapped returns (A3C's estimator; default):
+//              A_t = (r_t + g r_{t+1} + ... + g^{L-t} V(s_L)) - V(s_t)
+//   kTdError — the paper's Eq. 2 one-step td-error:
+//              A_t = r_t + g V(s_{t+1}) - V(s_t)
+//   kGae     — generalized advantage estimation (lambda interpolates the
+//              two: lambda=0 -> kTdError, lambda=1 -> kNStep)
+struct AdvantageConfig {
+  enum class Mode { kNStep, kTdError, kGae } mode = Mode::kNStep;
+  double gae_lambda = 0.95;
+};
+
+struct Targets {
+  std::vector<float> returns;     // length L*N (value-head regression target)
+  std::vector<float> advantages;  // length L*N (policy-gradient scale)
+};
+Targets compute_targets(const std::vector<std::vector<double>>& rewards,
+                        const std::vector<std::vector<bool>>& dones,
+                        const Tensor& values, const Tensor& bootstrap,
+                        double gamma,
+                        const AdvantageConfig& adv = AdvantageConfig{});
+
+}  // namespace a3cs::rl

@@ -1,0 +1,55 @@
+// Rollout collection: runs the current stochastic policy for a fixed number
+// of steps on a vectorized environment and records everything the A2C update
+// needs (paper Alg. 1's inner "repeat ... until rollout length L" loop).
+#pragma once
+
+#include <vector>
+
+#include "arcade/vec_env.h"
+#include "nn/actor_critic.h"
+#include "util/rng.h"
+
+namespace a3cs::rl {
+
+using arcade::VecEnv;
+using nn::ActorCriticNet;
+using tensor::Tensor;
+
+struct Rollout {
+  // Per-step records; each obs is (N, C, H, W) with N = num_envs.
+  std::vector<Tensor> obs;
+  std::vector<std::vector<int>> actions;
+  std::vector<std::vector<double>> rewards;
+  std::vector<std::vector<bool>> dones;
+  Tensor last_obs;  // observation after the final step (for bootstrapping)
+
+  int length() const { return static_cast<int>(obs.size()); }
+  int num_envs() const { return obs.empty() ? 0 : obs.front().shape()[0]; }
+
+  // Stacks all per-step observation batches into one (L*N, C, H, W) tensor,
+  // ordered step-major (step 0's N samples first).
+  Tensor stacked_obs() const;
+};
+
+class RolloutCollector {
+ public:
+  RolloutCollector(VecEnv& envs, util::Rng rng);
+
+  // Collects `length` steps with actions sampled from net's policy.
+  Rollout collect(ActorCriticNet& net, int length);
+
+  // Total env frames stepped so far (num_envs per step).
+  std::int64_t frames() const { return frames_; }
+
+ private:
+  VecEnv& envs_;
+  util::Rng rng_;
+  Tensor current_obs_;
+  bool started_ = false;
+  std::int64_t frames_ = 0;
+};
+
+// Samples one action per row from a (N, A) logits matrix.
+std::vector<int> sample_actions(const Tensor& logits, util::Rng& rng);
+
+}  // namespace a3cs::rl

@@ -1,0 +1,61 @@
+#include "rl/teacher.h"
+
+#include <filesystem>
+
+#include "arcade/env.h"
+#include "arcade/games.h"
+#include "arcade/vec_env.h"
+#include "rl/a2c.h"
+#include "util/config.h"
+#include "util/logging.h"
+
+namespace a3cs::rl {
+namespace {
+
+std::string cache_path(const std::string& game_title,
+                       const TeacherConfig& cfg) {
+  return cfg.cache_dir + "/" + game_title + "_" + cfg.model_name + "_" +
+         std::to_string(cfg.train_frames) + ".bin";
+}
+
+std::unique_ptr<nn::ActorCriticNet> build_teacher_net(
+    const std::string& game_title, const TeacherConfig& cfg) {
+  auto probe = arcade::make_game(game_title, 1);
+  util::Rng rng(cfg.seed);
+  auto agent = nn::build_zoo_agent(cfg.model_name, probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  return std::move(agent.net);
+}
+
+}  // namespace
+
+std::unique_ptr<nn::ActorCriticNet> train_teacher(const std::string& game_title,
+                                                  const TeacherConfig& cfg) {
+  auto net = build_teacher_net(game_title, cfg);
+  arcade::VecEnv envs(game_title, 8, cfg.seed + 100);
+  A2cConfig a2c;
+  a2c.seed = cfg.seed + 200;
+  a2c.loss = no_distill_coefficients();
+  A2cTrainer trainer(*net, envs, a2c);
+  trainer.train(cfg.train_frames);
+  return net;
+}
+
+std::unique_ptr<nn::ActorCriticNet> get_or_train_teacher(
+    const std::string& game_title, const TeacherConfig& cfg) {
+  const std::string path = cache_path(game_title, cfg);
+  if (std::filesystem::exists(path)) {
+    auto net = build_teacher_net(game_title, cfg);
+    net->load(path);
+    A3CS_LOG(INFO) << "teacher for " << game_title << " loaded from " << path;
+    return net;
+  }
+  A3CS_LOG(INFO) << "training teacher for " << game_title << " ("
+                 << cfg.train_frames << " frames)";
+  auto net = train_teacher(game_title, cfg);
+  std::filesystem::create_directories(cfg.cache_dir);
+  net->save(path);
+  return net;
+}
+
+}  // namespace a3cs::rl

@@ -1,0 +1,30 @@
+// Teacher agents for AC-distillation (paper Sec. V-A: "we train a ResNet-20
+// model as the teacher agent"). Teachers are trained once per game and
+// cached on disk so the many distillation experiments don't retrain them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/actor_critic.h"
+#include "nn/zoo.h"
+
+namespace a3cs::rl {
+
+struct TeacherConfig {
+  std::string model_name = "ResNet-20";  // paper's teacher backbone
+  std::int64_t train_frames = 30000;
+  std::string cache_dir = ".a3cs_cache/teachers";
+  std::uint64_t seed = 7;
+};
+
+// Returns a trained teacher for `game_title`, loading from the cache when a
+// checkpoint exists and training + saving one otherwise.
+std::unique_ptr<nn::ActorCriticNet> get_or_train_teacher(
+    const std::string& game_title, const TeacherConfig& cfg = TeacherConfig{});
+
+// Trains a fresh teacher (no cache interaction); exposed for tests.
+std::unique_ptr<nn::ActorCriticNet> train_teacher(
+    const std::string& game_title, const TeacherConfig& cfg);
+
+}  // namespace a3cs::rl

@@ -1,0 +1,198 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace a3cs::tensor {
+
+void gemm_raw(const float* a, bool trans_a, const float* b, bool trans_b,
+              float* c, int m, int k, int n, float alpha, float beta) {
+  // Storage row widths of A and B as laid out in memory.
+  const int a_cols = trans_a ? m : k;
+  const int b_cols = trans_b ? k : n;
+
+  if (beta == 0.0f) {
+    std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(m) * n; ++i) {
+      c[i] *= beta;
+    }
+  }
+
+  // i-k-j loop order: the inner loop is a saxpy over contiguous B rows /
+  // C rows, which vectorizes well for the row-major no-transpose case.
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aval =
+          alpha * (trans_a ? a[static_cast<std::size_t>(kk) * a_cols + i]
+                           : a[static_cast<std::size_t>(i) * a_cols + kk]);
+      if (aval == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = b + static_cast<std::size_t>(kk) * b_cols;
+        for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j) {
+          crow[j] += aval * b[static_cast<std::size_t>(j) * b_cols + kk];
+        }
+      }
+    }
+  }
+}
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  A3CS_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                 c.shape().rank() == 2,
+             "gemm requires matrices");
+  const int a_rows = a.shape()[0], a_cols = a.shape()[1];
+  const int b_rows = b.shape()[0], b_cols = b.shape()[1];
+  const int m = trans_a ? a_cols : a_rows;
+  const int k = trans_a ? a_rows : a_cols;
+  const int kb = trans_b ? b_cols : b_rows;
+  const int n = trans_b ? b_rows : b_cols;
+  A3CS_CHECK(k == kb, "gemm inner dimension mismatch");
+  A3CS_CHECK(c.shape()[0] == m && c.shape()[1] == n,
+             "gemm output shape mismatch");
+  gemm_raw(a.data(), trans_a, b.data(), trans_b, c.data(), m, k, n, alpha,
+           beta);
+}
+
+ConvGeometry ConvGeometry::make(const Shape& input, int kh, int kw, int stride,
+                                int pad) {
+  A3CS_CHECK(input.rank() == 4, "conv input must be NCHW");
+  A3CS_CHECK(stride >= 1, "conv stride must be >= 1");
+  ConvGeometry g;
+  g.n = input[0];
+  g.c = input[1];
+  g.h = input[2];
+  g.w = input[3];
+  g.kh = kh;
+  g.kw = kw;
+  g.stride = stride;
+  g.pad = pad;
+  g.oh = (g.h + 2 * pad - kh) / stride + 1;
+  g.ow = (g.w + 2 * pad - kw) / stride + 1;
+  A3CS_CHECK(g.oh > 0 && g.ow > 0, "conv output is empty");
+  return g;
+}
+
+void im2col(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
+  const int col_rows = g.c * g.kh * g.kw;
+  const int col_cols = g.n * g.oh * g.ow;
+  A3CS_CHECK(cols.shape() == Shape::mat(col_rows, col_cols),
+             "im2col output shape mismatch");
+  const float* in = input.data();
+  float* out = cols.data();
+  const int hw = g.h * g.w;
+  const int ohw = g.oh * g.ow;
+  for (int cr = 0; cr < col_rows; ++cr) {
+    const int kw_off = cr % g.kw;
+    const int kh_off = (cr / g.kw) % g.kh;
+    const int ch = cr / (g.kw * g.kh);
+    float* orow = out + static_cast<std::size_t>(cr) * col_cols;
+    for (int n = 0; n < g.n; ++n) {
+      const float* img = in + (static_cast<std::size_t>(n) * g.c + ch) * hw;
+      float* ocell = orow + static_cast<std::size_t>(n) * ohw;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        const int iy = oy * g.stride - g.pad + kh_off;
+        if (iy < 0 || iy >= g.h) {
+          std::fill(ocell, ocell + g.ow, 0.0f);
+          ocell += g.ow;
+          continue;
+        }
+        const float* irow = img + static_cast<std::size_t>(iy) * g.w;
+        for (int ox = 0; ox < g.ow; ++ox) {
+          const int ix = ox * g.stride - g.pad + kw_off;
+          *ocell++ = (ix < 0 || ix >= g.w) ? 0.0f : irow[ix];
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, const ConvGeometry& g, Tensor& grad_input) {
+  const int col_rows = g.c * g.kh * g.kw;
+  const int col_cols = g.n * g.oh * g.ow;
+  A3CS_CHECK(cols.shape() == Shape::mat(col_rows, col_cols),
+             "col2im input shape mismatch");
+  A3CS_CHECK(grad_input.shape() == Shape::nchw(g.n, g.c, g.h, g.w),
+             "col2im output shape mismatch");
+  grad_input.zero();
+  const float* in = cols.data();
+  float* out = grad_input.data();
+  const int hw = g.h * g.w;
+  const int ohw = g.oh * g.ow;
+  for (int cr = 0; cr < col_rows; ++cr) {
+    const int kw_off = cr % g.kw;
+    const int kh_off = (cr / g.kw) % g.kh;
+    const int ch = cr / (g.kw * g.kh);
+    const float* irow = in + static_cast<std::size_t>(cr) * col_cols;
+    for (int n = 0; n < g.n; ++n) {
+      float* img = out + (static_cast<std::size_t>(n) * g.c + ch) * hw;
+      const float* icell = irow + static_cast<std::size_t>(n) * ohw;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        const int iy = oy * g.stride - g.pad + kh_off;
+        if (iy < 0 || iy >= g.h) {
+          icell += g.ow;
+          continue;
+        }
+        float* orow = img + static_cast<std::size_t>(iy) * g.w;
+        for (int ox = 0; ox < g.ow; ++ox) {
+          const int ix = ox * g.stride - g.pad + kw_off;
+          const float v = *icell++;
+          if (ix >= 0 && ix < g.w) orow[ix] += v;
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  A3CS_CHECK(logits.shape().rank() == 2, "softmax_rows requires a matrix");
+  A3CS_CHECK(probs.shape() == logits.shape(), "softmax output shape mismatch");
+  const int rows = logits.shape()[0], cols = logits.shape()[1];
+  for (int r = 0; r < rows; ++r) {
+    const float* in = logits.data() + static_cast<std::size_t>(r) * cols;
+    float* out = probs.data() + static_cast<std::size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - mx);
+      sum += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+void log_softmax_rows(const Tensor& logits, Tensor& log_probs) {
+  A3CS_CHECK(logits.shape().rank() == 2, "log_softmax_rows requires a matrix");
+  A3CS_CHECK(log_probs.shape() == logits.shape(),
+             "log_softmax output shape mismatch");
+  const int rows = logits.shape()[0], cols = logits.shape()[1];
+  for (int r = 0; r < rows; ++r) {
+    const float* in = logits.data() + static_cast<std::size_t>(r) * cols;
+    float* out = log_probs.data() + static_cast<std::size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < cols; ++c) sum += std::exp(in[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int c = 0; c < cols; ++c) out[c] = in[c] - lse;
+  }
+}
+
+std::int64_t argmax(const Tensor& t) {
+  A3CS_CHECK(t.numel() > 0, "argmax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < t.numel(); ++i) {
+    if (t[i] > t[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace a3cs::tensor

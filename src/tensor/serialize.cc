@@ -1,0 +1,114 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace a3cs::tensor {
+namespace {
+
+constexpr char kTensorMagic[4] = {'A', '3', 'C', 'T'};
+constexpr char kFileMagic[4] = {'A', '3', 'C', 'F'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("tensor deserialize: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("tensor deserialize: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kTensorMagic, 4);
+  write_u32(out, static_cast<std::uint32_t>(t.shape().rank()));
+  for (int i = 0; i < t.shape().rank(); ++i) {
+    write_u32(out, static_cast<std::uint32_t>(t.shape()[i]));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kTensorMagic, 4)) {
+    throw std::runtime_error("tensor deserialize: bad magic");
+  }
+  const std::uint32_t rank = read_u32(in);
+  if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+    throw std::runtime_error("tensor deserialize: rank too large");
+  }
+  int dims[Shape::kMaxRank] = {0, 0, 0, 0};
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    dims[i] = static_cast<int>(read_u32(in));
+  }
+  Shape shape;
+  switch (rank) {
+    case 0: shape = Shape::scalar(); break;
+    case 1: shape = Shape({dims[0]}); break;
+    case 2: shape = Shape({dims[0], dims[1]}); break;
+    case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
+    case 4: shape = Shape({dims[0], dims[1], dims[2], dims[3]}); break;
+    default: throw std::runtime_error("tensor deserialize: bad rank");
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("tensor deserialize: truncated data");
+  return t;
+}
+
+void write_tensors(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_tensors: cannot open " + path);
+  out.write(kFileMagic, 4);
+  write_u32(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_string(out, name);
+    write_tensor(out, t);
+  }
+  if (!out) throw std::runtime_error("write_tensors: write failed " + path);
+}
+
+std::vector<std::pair<std::string, Tensor>> read_tensors(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_tensors: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kFileMagic, 4)) {
+    throw std::runtime_error("read_tensors: bad file magic in " + path);
+  }
+  const std::uint32_t count = read_u32(in);
+  std::vector<std::pair<std::string, Tensor>> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    out.emplace_back(std::move(name), read_tensor(in));
+  }
+  return out;
+}
+
+}  // namespace a3cs::tensor

@@ -1,0 +1,25 @@
+// Binary tensor (de)serialization: used to cache pretrained teacher agents
+// between bench runs and to round-trip trained networks in tests.
+//
+// Format: magic "A3CT", u32 rank, u32 dims[rank], f32 data[numel].
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace a3cs::tensor {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+// Whole-model checkpoints: an ordered list of named tensors.
+void write_tensors(const std::string& path,
+                   const std::vector<std::pair<std::string, Tensor>>& tensors);
+std::vector<std::pair<std::string, Tensor>> read_tensors(
+    const std::string& path);
+
+}  // namespace a3cs::tensor

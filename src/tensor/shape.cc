@@ -1,0 +1,51 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace a3cs::tensor {
+
+Shape::Shape(std::initializer_list<int> dims) {
+  A3CS_CHECK(dims.size() <= kMaxRank, "shape rank exceeds kMaxRank");
+  for (int d : dims) {
+    A3CS_CHECK(d >= 0, "negative dimension");
+    dims_[static_cast<std::size_t>(rank_++)] = d;
+  }
+}
+
+int Shape::dim(int i) const {
+  A3CS_CHECK(i >= 0 && i < rank_, "shape dim index out of range");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<std::size_t>(i)];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[static_cast<std::size_t>(i)] !=
+        other.dims_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (int i = 0; i < rank_; ++i) {
+    if (i > 0) oss << ", ";
+    oss << dims_[static_cast<std::size_t>(i)];
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace a3cs::tensor

@@ -1,0 +1,43 @@
+// Small-rank tensor shape with value semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace a3cs::tensor {
+
+// Up to 4 dimensions (we only ever need scalars, vectors, matrices and
+// NCHW image batches).
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+
+  int rank() const { return rank_; }
+  int dim(int i) const;
+  int operator[](int i) const { return dim(i); }
+
+  // Total number of elements (1 for a rank-0 scalar shape).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;
+
+  // Factory helpers for the common cases.
+  static Shape scalar() { return Shape({}); }
+  static Shape vec(int n) { return Shape({n}); }
+  static Shape mat(int rows, int cols) { return Shape({rows, cols}); }
+  static Shape nchw(int n, int c, int h, int w) { return Shape({n, c, h, w}); }
+
+ private:
+  int rank_ = 0;
+  std::array<int, kMaxRank> dims_{};
+};
+
+}  // namespace a3cs::tensor

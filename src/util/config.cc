@@ -1,0 +1,44 @@
+#include "util/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace a3cs::util {
+
+double bench_scale() {
+  static const double scale = [] {
+    const double v = env_double("A3CS_SCALE", 1.0);
+    return std::clamp(v, 1e-3, 1e3);
+  }();
+  return scale;
+}
+
+std::int64_t scaled_steps(std::int64_t steps, std::int64_t min_steps) {
+  const double scaled = static_cast<double>(steps) * bench_scale();
+  return std::max<std::int64_t>(min_steps, static_cast<std::int64_t>(scaled));
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env) return fallback;
+  return v;
+}
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* env = std::getenv(name.c_str());
+  return env == nullptr ? fallback : std::string(env);
+}
+
+}  // namespace a3cs::util

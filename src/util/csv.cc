@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace a3cs::util {
+namespace {
+
+void write_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ",";
+    out << CsvWriter::escape(cells[i]);
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(&out), columns_(header.size()) {
+  write_row(*out_, header);
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : file_(path), out_(&file_), columns_(header.size()), path_(path) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(*out_, header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  A3CS_CHECK(cells.size() == columns_, "CSV row width mismatch");
+  write_row(*out_, cells);
+  out_->flush();
+}
+
+void CsvWriter::row_values(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream oss;
+    oss << v;
+    cells.push_back(oss.str());
+  }
+  row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace a3cs::util

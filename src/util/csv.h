@@ -1,0 +1,37 @@
+// Tiny CSV emitter used by the benchmark harnesses so every table/figure can
+// be regenerated and post-processed (plotted) from machine-readable output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace a3cs::util {
+
+class CsvWriter {
+ public:
+  // Writes to the given stream (not owned). Header row is emitted once.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  // Opens (truncates) a file; throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience overload for mixed numeric rows.
+  void row_values(std::initializer_list<double> values);
+
+  static std::string escape(const std::string& cell);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::size_t columns_;
+  std::string path_;
+};
+
+}  // namespace a3cs::util

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace a3cs::util {
+namespace {
+
+LogLevel g_threshold = [] {
+  const char* env = std::getenv("A3CS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}();
+
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << level_name(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_threshold) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+namespace detail {
+void check_failed(const char* cond, const std::string& msg, const char* file,
+                  int line) {
+  std::ostringstream oss;
+  oss << "A3CS_CHECK failed: (" << cond << ") " << msg << " at " << file << ":"
+      << line;
+  throw std::runtime_error(oss.str());
+}
+}  // namespace detail
+
+}  // namespace a3cs::util

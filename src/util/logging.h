@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   A3CS_LOG(INFO) << "trained " << steps << " steps";
+//
+// The level threshold is taken from the A3CS_LOG_LEVEL environment variable
+// (DEBUG/INFO/WARN/ERROR, default INFO) so benches can be made quiet or
+// chatty without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace a3cs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Severity aliases consumed by the A3CS_LOG macro.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARN = LogLevel::kWarn;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+}  // namespace a3cs::util
+
+#define A3CS_LOG(severity)                                              \
+  ::a3cs::util::LogMessage(::a3cs::util::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+// Always-on invariant check with a message; throws std::runtime_error so
+// failures are testable and never silently corrupt an experiment.
+#define A3CS_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::a3cs::util::detail::check_failed(#cond, msg, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (0)
+
+namespace a3cs::util::detail {
+[[noreturn]] void check_failed(const char* cond, const std::string& msg,
+                               const char* file, int line);
+}  // namespace a3cs::util::detail

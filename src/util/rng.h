@@ -1,0 +1,60 @@
+// Deterministic, seedable random number generation for the whole project.
+//
+// All stochastic components (environments, weight init, Gumbel sampling,
+// rollout action sampling) draw from a `Rng` instance that is passed in
+// explicitly, never from global state, so every experiment is reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace a3cs::util {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+// Seeded through SplitMix64 so that nearby integer seeds give independent
+// streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int uniform_int(int n);
+
+  // Standard normal via Box-Muller (cached second draw).
+  double normal();
+
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  // Gumbel(0, 1) sample: -log(-log(U)).
+  double gumbel();
+
+  // True with probability p.
+  bool bernoulli(double p);
+
+  // Sample an index from an (unnormalized, non-negative) weight vector.
+  // Requires at least one strictly positive weight.
+  int categorical(const std::vector<double>& weights);
+
+  // Derive an independent child stream (e.g. one per environment instance).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace a3cs::util

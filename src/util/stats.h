@@ -1,0 +1,49 @@
+// Streaming summary statistics (Welford) and small helpers used by
+// evaluation code and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace a3cs::util {
+
+// Numerically stable running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+// Exponential moving average helper for score curves.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  double update(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace a3cs::util

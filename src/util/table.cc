@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace a3cs::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  A3CS_CHECK(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream oss;
+  const double a = v < 0 ? -v : v;
+  if (a != 0.0 && (a >= 1e7 || a < 1e-3)) {
+    oss << std::scientific << std::setprecision(2) << v;
+  } else if (a >= 1000.0) {
+    oss << std::fixed << std::setprecision(0) << v;
+  } else {
+    oss << std::fixed << std::setprecision(precision) << v;
+  }
+  return oss.str();
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+}  // namespace a3cs::util

@@ -1,0 +1,27 @@
+// Plain-text table printer: the bench binaries print paper-style tables with
+// aligned columns, e.g. the Table I / II / III reproductions.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace a3cs::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with sensible precision for score/FPS cells.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace a3cs::util

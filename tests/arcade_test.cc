@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "arcade/games.h"
+#include "arcade/vec_env.h"
+
+namespace a3cs {
+namespace {
+
+using arcade::Env;
+using arcade::StepResult;
+using tensor::Tensor;
+
+// ----------------------------------------------- properties of every game --
+
+class GameTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GameTest, ResetProducesStandardFrame) {
+  auto env = arcade::make_game(GetParam(), 1);
+  const Tensor obs = env->reset();
+  const auto spec = env->obs_spec();
+  EXPECT_EQ(obs.shape(),
+            tensor::Shape::nchw(1, spec.channels, spec.height, spec.width));
+  EXPECT_EQ(spec.channels, arcade::kPlanes);
+  EXPECT_EQ(spec.height, arcade::kGridH);
+  EXPECT_EQ(spec.width, arcade::kGridW);
+}
+
+TEST_P(GameTest, ObservationsStayInUnitRange) {
+  auto env = arcade::make_game(GetParam(), 7);
+  Tensor obs = env->reset();
+  util::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    for (std::int64_t i = 0; i < obs.numel(); ++i) {
+      ASSERT_GE(obs[i], 0.0f);
+      ASSERT_LE(obs[i], 1.0f);
+    }
+    const auto r = env->step(rng.uniform_int(env->num_actions()));
+    obs = r.obs;
+    if (r.done) obs = env->reset();
+  }
+}
+
+TEST_P(GameTest, PlayerVisibleInPlaneZero) {
+  auto env = arcade::make_game(GetParam(), 11);
+  const Tensor obs = env->reset();
+  float plane0 = 0.0f;
+  for (int y = 0; y < arcade::kGridH; ++y) {
+    for (int x = 0; x < arcade::kGridW; ++x) {
+      plane0 += obs.at4(0, 0, y, x);
+    }
+  }
+  EXPECT_GT(plane0, 0.0f) << "player avatar missing from plane 0";
+}
+
+TEST_P(GameTest, DeterministicUnderSameSeed) {
+  auto a = arcade::make_game(GetParam(), 99);
+  auto b = arcade::make_game(GetParam(), 99);
+  Tensor oa = a->reset(), ob = b->reset();
+  util::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(oa.same_shape(ob));
+    for (std::int64_t i = 0; i < oa.numel(); ++i) {
+      ASSERT_FLOAT_EQ(oa[i], ob[i]) << "step " << t;
+    }
+    const int action = rng.uniform_int(a->num_actions());
+    const auto ra = a->step(action);
+    const auto rb = b->step(action);
+    ASSERT_DOUBLE_EQ(ra.reward, rb.reward);
+    ASSERT_EQ(ra.done, rb.done);
+    if (ra.done) {
+      oa = a->reset();
+      ob = b->reset();
+    } else {
+      oa = ra.obs;
+      ob = rb.obs;
+    }
+  }
+}
+
+TEST_P(GameTest, DifferentSeedsEventuallyDiverge) {
+  auto a = arcade::make_game(GetParam(), 1);
+  auto b = arcade::make_game(GetParam(), 2);
+  Tensor oa = a->reset(), ob = b->reset();
+  bool diverged = false;
+  util::Rng rng(6);
+  for (int t = 0; t < 200 && !diverged; ++t) {
+    for (std::int64_t i = 0; i < oa.numel(); ++i) {
+      if (oa[i] != ob[i]) {
+        diverged = true;
+        break;
+      }
+    }
+    const int action = rng.uniform_int(a->num_actions());
+    auto ra = a->step(action);
+    auto rb = b->step(action);
+    oa = ra.done ? a->reset() : ra.obs;
+    ob = rb.done ? b->reset() : rb.obs;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_P(GameTest, EpisodeTerminates) {
+  auto env = arcade::make_game(GetParam(), 13);
+  env->reset();
+  util::Rng rng(8);
+  int steps = 0;
+  while (true) {
+    const auto r = env->step(rng.uniform_int(env->num_actions()));
+    ++steps;
+    ASSERT_LE(steps, 2000) << "episode never terminated";
+    if (r.done) break;
+  }
+  EXPECT_LE(steps, 500);  // all configs cap at <= 400 steps
+}
+
+TEST_P(GameTest, StepAfterDoneThrows) {
+  auto env = arcade::make_game(GetParam(), 17);
+  env->reset();
+  util::Rng rng(9);
+  while (!env->step(rng.uniform_int(env->num_actions())).done) {
+  }
+  EXPECT_THROW(env->step(0), std::runtime_error);
+}
+
+TEST_P(GameTest, OutOfRangeActionThrows) {
+  auto env = arcade::make_game(GetParam(), 19);
+  env->reset();
+  EXPECT_THROW(env->step(env->num_actions()), std::runtime_error);
+  EXPECT_THROW(env->step(-1), std::runtime_error);
+}
+
+TEST_P(GameTest, NoopPolicyIsSafe) {
+  // Null-op starts (the evaluation protocol) require action 0 to be valid
+  // for arbitrarily many steps.
+  auto env = arcade::make_game(GetParam(), 23);
+  env->reset();
+  for (int t = 0; t < 100; ++t) {
+    if (env->step(0).done) env->reset();
+  }
+}
+
+TEST_P(GameTest, NameMatchesTitle) {
+  auto env = arcade::make_game(GetParam(), 1);
+  EXPECT_EQ(env->name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, GameTest,
+                         ::testing::ValuesIn(arcade::all_game_titles()));
+
+// ------------------------------------------------------------ registry ----
+
+TEST(Registry, UnknownGameThrows) {
+  EXPECT_THROW(arcade::make_game("Zork", 1), std::invalid_argument);
+  EXPECT_FALSE(arcade::is_known_game("Zork"));
+  EXPECT_TRUE(arcade::is_known_game("Breakout"));
+}
+
+TEST(Registry, PaperGameSubsetsAreRegistered) {
+  EXPECT_EQ(arcade::table1_games().size(), 16u);
+  EXPECT_EQ(arcade::table2_games().size(), 12u);
+  EXPECT_EQ(arcade::table3_games().size(), 6u);
+  EXPECT_EQ(arcade::figure_games().size(), 4u);
+  for (const auto& list :
+       {arcade::table1_games(), arcade::table2_games(), arcade::table3_games(),
+        arcade::figure_games()}) {
+    for (const auto& g : list) {
+      EXPECT_TRUE(arcade::is_known_game(g)) << g;
+    }
+  }
+}
+
+TEST(Registry, Table3MatchesFa3cGameSet) {
+  const auto& games = arcade::table3_games();
+  const std::set<std::string> expected = {"BeamRider", "Breakout", "Pong",
+                                          "Qbert", "Seaquest",
+                                          "SpaceInvaders"};
+  EXPECT_EQ(std::set<std::string>(games.begin(), games.end()), expected);
+}
+
+// ------------------------------------------------------- game mechanics ---
+
+TEST(Mechanics, CatchRewardsRequireCatching) {
+  // A paddle pinned to the left edge cannot catch pellets spawning on the
+  // right half, so a full-tracking policy must outscore the pinned one.
+  auto score_policy = [](bool track) {
+    double total = 0.0;
+    auto env = arcade::make_game("Catch", 31);
+    Tensor obs = env->reset();
+    bool done = false;
+    while (!done) {
+      int action = 1;  // push left
+      if (track) {
+        // Find paddle x and lowest pellet x.
+        int paddle_x = -1, pellet_x = -1, pellet_y = -1;
+        for (int y = 0; y < arcade::kGridH; ++y) {
+          for (int x = 0; x < arcade::kGridW; ++x) {
+            if (obs.at4(0, 0, y, x) > 0 && paddle_x < 0) paddle_x = x;
+            if (obs.at4(0, 1, y, x) > 0 && y > pellet_y) {
+              pellet_y = y;
+              pellet_x = x;
+            }
+          }
+        }
+        action = 0;
+        if (pellet_x >= 0 && paddle_x >= 0) {
+          if (pellet_x > paddle_x + 1) action = 2;
+          else if (pellet_x < paddle_x) action = 1;
+        }
+      }
+      const auto r = env->step(action);
+      total += r.reward;
+      done = r.done;
+      obs = r.obs;
+    }
+    return total;
+  };
+  EXPECT_GT(score_policy(true), score_policy(false) + 5.0);
+}
+
+TEST(Mechanics, ShooterFiringScores) {
+  // Holding fire in SpaceInvaders must eventually score kills; never firing
+  // scores nothing (formation never reaches the bottom within a few steps).
+  auto env = arcade::make_game("SpaceInvaders", 41);
+  env->reset();
+  double fire_score = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    const auto r = env->step(3);  // fire
+    fire_score += r.reward;
+    if (r.done) break;
+  }
+  EXPECT_GT(fire_score, 0.0);
+}
+
+TEST(Mechanics, BoxingEndsAtKnockout) {
+  // With target_score = 100, an episode can never exceed +100 player hits.
+  auto env = arcade::make_game("Boxing", 43);
+  env->reset();
+  util::Rng rng(1);
+  double total = 0.0;
+  bool done = false;
+  while (!done) {
+    const auto r = env->step(rng.uniform_int(env->num_actions()));
+    total += r.reward;
+    done = r.done;
+  }
+  EXPECT_LE(total, 100.0);
+}
+
+TEST(Mechanics, PongScoresAreBounded) {
+  auto env = arcade::make_game("Pong", 47);
+  env->reset();
+  util::Rng rng(2);
+  double total = 0.0;
+  bool done = false;
+  while (!done) {
+    const auto r = env->step(rng.uniform_int(env->num_actions()));
+    total += r.reward;
+    done = r.done;
+  }
+  EXPECT_GE(total, -50.0);
+  EXPECT_LE(total, 21.0);
+}
+
+TEST(Mechanics, QbertPaintRewardsFirstVisitsOnly) {
+  auto env = arcade::make_game("Qbert", 53);
+  env->reset();
+  // Move right then left repeatedly: after the first pass the same cells
+  // give no reward (until the board resets).
+  double first = env->step(4).reward;   // right: new cell
+  double second = env->step(3).reward;  // left: back to painted cell
+  EXPECT_GE(first, 0.0);
+  EXPECT_LE(second, first + 1e-9);
+}
+
+// --------------------------------------------------------------- VecEnv ---
+
+TEST(VecEnv, BatchesObservations) {
+  arcade::VecEnv vec("Catch", 4, 100);
+  const Tensor obs = vec.reset();
+  EXPECT_EQ(obs.shape(), tensor::Shape::nchw(4, 3, 12, 12));
+  EXPECT_EQ(vec.num_envs(), 4);
+  EXPECT_EQ(vec.num_actions(), 3);
+}
+
+TEST(VecEnv, StepRequiresActionPerEnv) {
+  arcade::VecEnv vec("Catch", 3, 100);
+  vec.reset();
+  EXPECT_THROW(vec.step({0, 1}), std::runtime_error);
+}
+
+TEST(VecEnv, AutoResetsAndCollectsScores) {
+  arcade::VecEnv vec("Catch", 2, 100);
+  vec.reset();
+  util::Rng rng(4);
+  std::int64_t steps = 0;
+  while (vec.episodes_completed() < 4 && steps < 5000) {
+    vec.step({rng.uniform_int(3), rng.uniform_int(3)});
+    ++steps;
+  }
+  EXPECT_GE(vec.episodes_completed(), 4);
+  const auto scores = vec.drain_episode_scores();
+  EXPECT_GE(scores.size(), 4u);
+  EXPECT_TRUE(vec.drain_episode_scores().empty());  // drained
+}
+
+TEST(VecEnv, EnvsEvolveIndependently) {
+  arcade::VecEnv vec("Breakout", 4, 200);
+  Tensor obs = vec.reset();
+  for (int t = 0; t < 30; ++t) {
+    obs = vec.step({0, 0, 0, 0}).obs;
+  }
+  // Ball positions (plane 1) should differ across at least one env pair.
+  bool differ = false;
+  const std::int64_t frame = obs.numel() / 4;
+  for (int e = 1; e < 4 && !differ; ++e) {
+    for (std::int64_t i = 0; i < frame; ++i) {
+      if (obs[i] != obs[e * frame + i]) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace a3cs

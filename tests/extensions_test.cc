@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "accel/predictor.h"
+#include "arcade/games.h"
+#include "arcade/render.h"
+#include "arcade/wrappers.h"
+#include "das/das.h"
+#include "nn/zoo.h"
+
+namespace a3cs {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ----------------------------------------------------------- FrameStack ---
+
+TEST(FrameStack, ObsSpecMultipliesChannels) {
+  auto env = arcade::make_stacked_game("Breakout", 1, 4);
+  EXPECT_EQ(env->obs_spec().channels, 12);
+  EXPECT_EQ(env->obs_spec().height, 12);
+  EXPECT_EQ(env->num_actions(), 3);
+}
+
+TEST(FrameStack, ResetRepeatsInitialFrame) {
+  auto env = arcade::make_stacked_game("Breakout", 7, 3);
+  const Tensor obs = env->reset();
+  ASSERT_EQ(obs.shape(), Shape::nchw(1, 9, 12, 12));
+  const std::int64_t frame = 3 * 12 * 12;
+  for (std::int64_t i = 0; i < frame; ++i) {
+    EXPECT_FLOAT_EQ(obs[i], obs[frame + i]);
+    EXPECT_FLOAT_EQ(obs[i], obs[2 * frame + i]);
+  }
+}
+
+TEST(FrameStack, HistoryShiftsOnStep) {
+  auto env = arcade::make_stacked_game("Breakout", 7, 2);
+  Tensor obs = env->reset();
+  const std::int64_t frame = 3 * 12 * 12;
+  // After one step, the old newest frame becomes the oldest slot.
+  std::vector<float> prev_newest(static_cast<std::size_t>(frame));
+  for (std::int64_t i = 0; i < frame; ++i) {
+    prev_newest[static_cast<std::size_t>(i)] = obs[frame + i];
+  }
+  const auto r = env->step(0);
+  for (std::int64_t i = 0; i < frame; ++i) {
+    ASSERT_FLOAT_EQ(r.obs[i], prev_newest[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FrameStack, VelocityIsObservableWithStacking) {
+  // Two consecutive Breakout frames differ in the ball position, so the
+  // stacked observation is not just a channel copy after a few steps.
+  auto env = arcade::make_stacked_game("Breakout", 3, 2);
+  Tensor obs = env->reset();
+  const std::int64_t frame = 3 * 12 * 12;
+  bool differs = false;
+  for (int t = 0; t < 10 && !differs; ++t) {
+    obs = env->step(0).obs;
+    for (std::int64_t i = 0; i < frame; ++i) {
+      if (obs[i] != obs[frame + i]) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FrameStack, AgentBuildsAgainstStackedSpec) {
+  auto env = arcade::make_stacked_game("Catch", 1, 2);
+  util::Rng rng(5);
+  auto agent = nn::build_zoo_agent("Vanilla", env->obs_spec(),
+                                   env->num_actions(), rng);
+  const Tensor obs = env->reset();
+  const auto out = agent.net->forward(obs);
+  EXPECT_EQ(out.logits.shape(), Shape::mat(1, 3));
+}
+
+TEST(FrameStack, RejectsDegenerateDepth) {
+  EXPECT_THROW(arcade::make_stacked_game("Catch", 1, 1), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- render --
+
+TEST(Render, ShowsPlayerAndBorders) {
+  auto env = arcade::make_game("Breakout", 1);
+  const Tensor obs = env->reset();
+  const std::string s = arcade::render_ascii(obs);
+  EXPECT_NE(s.find('A'), std::string::npos);   // paddle
+  EXPECT_NE(s.find('o'), std::string::npos);   // ball
+  EXPECT_NE(s.find('#'), std::string::npos);   // bricks
+  EXPECT_NE(s.find('|'), std::string::npos);
+  // 12 rows + 2 borders.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 14);
+}
+
+TEST(Render, RejectsBatchedObservations) {
+  Tensor batch(Shape::nchw(2, 3, 12, 12));
+  EXPECT_THROW(arcade::render_ascii(batch), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- energy --
+
+TEST(Energy, EvaluationReportsPositiveEnergy) {
+  accel::Predictor pred;
+  const auto specs = nn::zoo_model_specs("Vanilla", nn::ObsSpec{3, 12, 12}, 4);
+  accel::AcceleratorConfig cfg;
+  cfg.chunks.push_back(accel::ChunkConfig{});
+  cfg.group_to_chunk.assign(static_cast<std::size_t>(nn::num_groups(specs)), 0);
+  const auto eval = pred.evaluate(specs, cfg);
+  EXPECT_GT(eval.energy_nj, 0.0);
+  double layer_sum = 0.0;
+  for (const auto& l : eval.layers) layer_sum += l.energy_nj;
+  EXPECT_NEAR(eval.energy_nj, layer_sum, 1e-6);
+}
+
+TEST(Energy, BiggerNetworksCostMoreEnergy) {
+  accel::Predictor pred;
+  accel::ChunkConfig chunk;
+  auto eval_of = [&](const std::string& model) {
+    const auto specs = nn::zoo_model_specs(model, nn::ObsSpec{3, 12, 12}, 4);
+    accel::AcceleratorConfig cfg;
+    cfg.chunks.push_back(chunk);
+    cfg.group_to_chunk.assign(static_cast<std::size_t>(nn::num_groups(specs)),
+                              0);
+    return pred.evaluate(specs, cfg).energy_nj;
+  };
+  EXPECT_GT(eval_of("ResNet-74"), eval_of("ResNet-14"));
+  EXPECT_GT(eval_of("ResNet-14"), eval_of("Vanilla"));
+}
+
+TEST(Energy, RefetchTrafficRaisesEnergy) {
+  accel::Predictor pred;
+  std::vector<nn::LayerSpec> specs = {
+      nn::LayerSpec::conv("c", 64, 64, 3, 1, 12, 12)};
+  nn::assign_sequential_groups(specs);
+  accel::AcceleratorConfig generous;
+  accel::ChunkConfig chunk;
+  chunk.tile_oc = chunk.tile_ic = 8;
+  generous.chunks.push_back(chunk);
+  generous.group_to_chunk = {0};
+
+  accel::AcceleratorConfig starved = generous;
+  starved.chunks[0].pe_rows = starved.chunks[0].pe_cols = 2;
+  accel::ChunkConfig fat;
+  fat.pe_rows = fat.pe_cols = 24;
+  starved.chunks.push_back(fat);
+
+  const double e_generous = pred.evaluate(specs, generous).energy_nj;
+  const double e_starved = pred.evaluate(specs, starved).energy_nj;
+  EXPECT_GT(e_starved, e_generous);
+}
+
+TEST(CostWeights, EnergyTermChangesScalarCost) {
+  accel::CostWeights latency_only;
+  accel::CostWeights with_energy;
+  with_energy.energy = 1.0;
+  accel::Predictor p_lat(accel::FpgaBudget{}, accel::EnergyModel{},
+                         latency_only);
+  accel::Predictor p_en(accel::FpgaBudget{}, accel::EnergyModel{},
+                        with_energy);
+  accel::HwEval eval;
+  eval.feasible = true;
+  eval.ii_cycles = 1000;
+  eval.energy_nj = 5000.0;
+  EXPECT_GT(p_en.scalar_cost(eval), p_lat.scalar_cost(eval));
+}
+
+TEST(CostWeights, EnergyAwareDasPrefersLowerEnergy) {
+  // Search the same network twice: once latency-only, once strongly
+  // energy-weighted; the energy-weighted result must not consume more
+  // energy.
+  const auto specs =
+      nn::zoo_model_specs("ResNet-14", nn::ObsSpec{3, 12, 12}, 4);
+  accel::AcceleratorSpace space(4, nn::num_groups(specs));
+
+  accel::Predictor p_lat;
+  accel::CostWeights w;
+  w.latency = 0.0;
+  w.energy = 1.0;
+  accel::Predictor p_en(accel::FpgaBudget{}, accel::EnergyModel{}, w);
+
+  das::DasConfig cfg;
+  cfg.iterations = 400;
+  das::DasEngine lat_engine(space, p_lat, cfg);
+  das::DasEngine en_engine(space, p_en, cfg);
+  const auto lat = lat_engine.search(specs);
+  const auto en = en_engine.search(specs);
+  EXPECT_LE(en.eval.energy_nj, lat.eval.energy_nj * 1.05);
+}
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "accel/config_io.h"
+#include "accel/predictor.h"
+#include "accel/space.h"
+#include "core/result_io.h"
+#include "nn/zoo.h"
+
+namespace a3cs {
+namespace {
+
+using accel::AcceleratorConfig;
+using accel::AcceleratorSpace;
+
+// ------------------------------------------------------------ config IO ---
+
+class ConfigIoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigIoFuzzTest, RandomConfigsRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  const int chunks = 1 + rng.uniform_int(6);
+  const int groups = 1 + rng.uniform_int(20);
+  AcceleratorSpace space(chunks, groups);
+  const AcceleratorConfig cfg = space.decode(space.random_choices(rng));
+
+  const AcceleratorConfig back = accel::decode_config(accel::encode_config(cfg));
+  ASSERT_EQ(back.num_chunks(), cfg.num_chunks());
+  ASSERT_EQ(back.group_to_chunk, cfg.group_to_chunk);
+  for (int c = 0; c < cfg.num_chunks(); ++c) {
+    const auto& a = cfg.chunks[static_cast<std::size_t>(c)];
+    const auto& b = back.chunks[static_cast<std::size_t>(c)];
+    EXPECT_EQ(a.pe_rows, b.pe_rows);
+    EXPECT_EQ(a.pe_cols, b.pe_cols);
+    EXPECT_EQ(a.noc, b.noc);
+    EXPECT_EQ(a.dataflow, b.dataflow);
+    EXPECT_EQ(a.tile_oc, b.tile_oc);
+    EXPECT_EQ(a.tile_ic, b.tile_ic);
+    EXPECT_NEAR(a.split.input, b.split.input, 1e-6);
+    EXPECT_NEAR(a.split.weight, b.split.weight, 1e-6);
+    EXPECT_NEAR(a.split.output, b.split.output, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ConfigIoFuzzTest, ::testing::Range(0, 12));
+
+TEST(ConfigIo, RoundTripPreservesPredictorEvaluation) {
+  util::Rng rng(99);
+  const auto specs = nn::zoo_model_specs("ResNet-14", nn::ObsSpec{3, 12, 12}, 4);
+  AcceleratorSpace space(4, nn::num_groups(specs));
+  const auto cfg = space.decode(space.random_choices(rng));
+  const auto back = accel::decode_config(accel::encode_config(cfg));
+  accel::Predictor pred;
+  EXPECT_DOUBLE_EQ(pred.evaluate(specs, cfg).ii_cycles,
+                   pred.evaluate(specs, back).ii_cycles);
+  EXPECT_DOUBLE_EQ(pred.evaluate(specs, cfg).energy_nj,
+                   pred.evaluate(specs, back).energy_nj);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  util::Rng rng(7);
+  AcceleratorSpace space(2, 3);
+  const auto cfg = space.decode(space.random_choices(rng));
+  const std::string path = ::testing::TempDir() + "/a3cs_accel.cfg";
+  accel::save_config(path, cfg);
+  const auto back = accel::load_config(path);
+  EXPECT_EQ(accel::encode_config(back), accel::encode_config(cfg));
+  std::filesystem::remove(path);
+}
+
+TEST(ConfigIo, RejectsMalformedInput) {
+  EXPECT_THROW(accel::decode_config(""), std::runtime_error);
+  EXPECT_THROW(accel::decode_config("chunks=1;alloc=0"), std::runtime_error);
+  EXPECT_THROW(accel::decode_config("chunks=2;alloc=0;chunk=4x4"),
+               std::runtime_error);
+  EXPECT_THROW(
+      accel::decode_config("chunks=1;alloc=5;chunk=4x4,noc=0,df=0,toc=8,"
+                           "tic=8,split=0.3:0.3:0.4"),
+      std::runtime_error);
+  EXPECT_THROW(accel::decode_config("bogus=1"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ result IO ---
+
+TEST(ResultIo, RoundTrip) {
+  core::SavedResult result;
+  result.game = "Breakout";
+  result.arch = nas::DerivedArch::from_string("conv3-skip-ir5x3");
+  util::Rng rng(3);
+  AcceleratorSpace space(2, 5);
+  result.accelerator = space.decode(space.random_choices(rng));
+  result.test_score = 123.5;
+  result.fps = 45678.0;
+
+  const std::string path = ::testing::TempDir() + "/a3cs_result.txt";
+  core::save_result(path, result);
+  const auto back = core::load_result(path);
+  EXPECT_EQ(back.game, "Breakout");
+  EXPECT_EQ(back.arch.to_string(), "conv3-skip-ir5x3");
+  EXPECT_EQ(accel::encode_config(back.accelerator),
+            accel::encode_config(result.accelerator));
+  EXPECT_DOUBLE_EQ(back.test_score, 123.5);
+  EXPECT_DOUBLE_EQ(back.fps, 45678.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ResultIo, MissingFieldsRejected) {
+  const std::string path = ::testing::TempDir() + "/a3cs_bad_result.txt";
+  {
+    std::ofstream out(path);
+    out << "game=Pong\ntest_score=1\n";
+  }
+  EXPECT_THROW(core::load_result(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ResultIo, MissingFileRejected) {
+  EXPECT_THROW(core::load_result("/nonexistent/res.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grad_check.h"
+#include "nas/arch.h"
+#include "nas/gumbel.h"
+#include "nas/mixed_op.h"
+#include "nas/ops.h"
+#include "nas/supernet.h"
+#include "nn/obs_spec.h"
+
+namespace a3cs {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+const nn::ObsSpec kObs{3, 12, 12};
+
+// ------------------------------------------------------ GumbelCategorical --
+
+TEST(Gumbel, SampleIsValidDistribution) {
+  nas::GumbelCategorical cat("c", 5);
+  util::Rng rng(1);
+  const auto s = cat.sample(rng, 1.0);
+  EXPECT_GE(s.index, 0);
+  EXPECT_LT(s.index, 5);
+  double sum = 0.0;
+  for (float y : s.relaxed) {
+    EXPECT_GE(y, 0.0f);
+    sum += y;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(Gumbel, HardIndexIsRelaxedArgmax) {
+  nas::GumbelCategorical cat("c", 7);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = cat.sample(rng, 0.7);
+    int best = 0;
+    for (int i = 1; i < 7; ++i) {
+      if (s.relaxed[static_cast<std::size_t>(i)] >
+          s.relaxed[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    EXPECT_EQ(s.index, best);
+  }
+}
+
+TEST(Gumbel, SamplingFrequenciesFollowLogits) {
+  nas::GumbelCategorical cat("c", 3);
+  cat.param().value[0] = 0.0f;
+  cat.param().value[1] = 1.0f;
+  cat.param().value[2] = 2.0f;
+  util::Rng rng(3);
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(cat.sample(rng, 1.0).index)];
+  // Gumbel-max sampling is exactly softmax(logits) sampling.
+  const double z = 1.0 + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / z, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), std::exp(2.0) / z, 0.015);
+}
+
+TEST(Gumbel, LowTemperatureSharpens) {
+  nas::GumbelCategorical cat("c", 4);
+  cat.param().value[2] = 3.0f;
+  util::Rng rng1(4), rng2(4);
+  const auto hot = cat.sample(rng1, 10.0);
+  const auto cold = cat.sample(rng2, 0.1);
+  // Same Gumbel noise; the colder sample concentrates more mass on argmax.
+  EXPECT_GT(cold.relaxed[static_cast<std::size_t>(cold.index)],
+            hot.relaxed[static_cast<std::size_t>(hot.index)]);
+}
+
+TEST(Gumbel, ProbabilitiesAreSoftmax) {
+  nas::GumbelCategorical cat("c", 3);
+  cat.param().value[0] = 1.0f;
+  cat.param().value[1] = 2.0f;
+  cat.param().value[2] = 0.5f;
+  const auto p = cat.probabilities(1.0);
+  const double z = std::exp(1.0) + std::exp(2.0) + std::exp(0.5);
+  EXPECT_NEAR(p[0], std::exp(1.0) / z, 1e-5);
+  EXPECT_NEAR(p[1], std::exp(2.0) / z, 1e-5);
+  EXPECT_EQ(cat.argmax(), 1);
+}
+
+TEST(Gumbel, AccumulateGradMatchesRelaxedJacobian) {
+  // dL/dl_i = (1/tau) * sum_k s_k y_k (delta_ki - y_i): verify against a
+  // direct finite-difference of f(l) = sum_k s_k softmax((l+g)/tau)_k with
+  // frozen Gumbel noise (we emulate by treating the relaxed probs as the
+  // softmax and recomputing the Jacobian analytically).
+  nas::GumbelCategorical cat("c", 4);
+  util::Rng rng(5);
+  const double tau = 1.3;
+  const auto s = cat.sample(rng, tau);
+  const std::vector<float> sens = {0.5f, -1.0f, 2.0f, 0.25f};
+  cat.accumulate_grad(s, sens, tau);
+  for (int i = 0; i < 4; ++i) {
+    double expected = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const double dyk =
+          s.relaxed[static_cast<std::size_t>(k)] *
+          ((k == i ? 1.0 : 0.0) - s.relaxed[static_cast<std::size_t>(i)]) /
+          tau;
+      expected += sens[static_cast<std::size_t>(k)] * dyk;
+    }
+    EXPECT_NEAR(cat.param().grad[i], expected, 1e-5);
+  }
+}
+
+TEST(Gumbel, GradSumsToZero) {
+  // Softmax Jacobian rows sum to zero: so must the accumulated gradient.
+  nas::GumbelCategorical cat("c", 6);
+  util::Rng rng(6);
+  const auto s = cat.sample(rng, 0.9);
+  std::vector<float> sens(6, 0.0f);
+  sens[static_cast<std::size_t>(s.index)] = 3.0f;
+  cat.accumulate_grad(s, sens, 0.9);
+  double sum = 0.0;
+  for (int i = 0; i < 6; ++i) sum += cat.param().grad[i];
+  EXPECT_NEAR(sum, 0.0, 1e-5);
+}
+
+// ------------------------------------------------------- candidate ops ----
+
+TEST(CandidateOps, NineOperatorsAsInPaper) {
+  const auto& ops = nas::candidate_ops();
+  ASSERT_EQ(ops.size(), 9u);  // conv3/5, ir{3,5}x{1,3,5}, skip
+  int convs = 0, irs = 0, skips = 0;
+  for (const auto& op : ops) {
+    if (op.is_skip) ++skips;
+    else if (op.expansion == 0) ++convs;
+    else ++irs;
+  }
+  EXPECT_EQ(convs, 2);
+  EXPECT_EQ(irs, 6);
+  EXPECT_EQ(skips, 1);
+}
+
+class CandidateOpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CandidateOpTest, AllOpsProduceSameOutputShape) {
+  util::Rng rng(7);
+  const int op = GetParam();
+  for (const int stride : {1, 2}) {
+    auto m = nas::make_candidate(op, "op", 4, 8, stride, rng);
+    Tensor x(Shape::nchw(2, 4, 6, 6), 0.5f);
+    const Tensor y = m->forward(x);
+    EXPECT_EQ(y.shape(), Shape::nchw(2, 8, stride == 1 ? 6 : 3,
+                                     stride == 1 ? 6 : 3))
+        << "op " << op << " stride " << stride;
+  }
+}
+
+TEST_P(CandidateOpTest, SpecsMatchModuleParameterCount) {
+  util::Rng rng(8);
+  const int op = GetParam();
+  auto m = nas::make_candidate(op, "op", 4, 8, 2, rng);
+  const auto specs = nas::candidate_specs(op, "op", 4, 8, 2, 6, 6);
+  std::int64_t module_params = 0;
+  std::vector<nn::Parameter*> params;
+  m->collect_parameters(params);
+  for (auto* p : params) module_params += p->numel();
+  EXPECT_EQ(nn::network_params(specs), module_params);
+}
+
+TEST_P(CandidateOpTest, GradCheck) {
+  util::Rng rng(9);
+  auto m = nas::make_candidate(GetParam(), "op", 3, 5, 2, rng);
+  testing::GradCheckOptions opt;
+  opt.rel_tol = 0.15f;
+  opt.abs_tol = 5e-2f;
+  testing::check_module_gradients(*m, Shape::nchw(2, 3, 6, 6), 999, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, CandidateOpTest, ::testing::Range(0, 9));
+
+TEST(CandidateOps, SkipHasNoParametersOrMacs) {
+  const auto specs = nas::candidate_specs(8, "op", 4, 8, 2, 6, 6);
+  EXPECT_TRUE(specs.empty());
+  util::Rng rng(10);
+  auto m = nas::make_candidate(8, "op", 4, 8, 2, rng);
+  std::vector<nn::Parameter*> params;
+  m->collect_parameters(params);
+  EXPECT_TRUE(params.empty());
+}
+
+// -------------------------------------------------------------- MixedOp ---
+
+TEST(MixedOp, ForwardActivatesExactlyOneSampledPath) {
+  util::Rng rng(11), sampler(12);
+  double tau = 5.0;
+  nas::MixedOp mixed("cell", 3, 6, 1, rng, &sampler, &tau, 2);
+  Tensor x(Shape::nchw(1, 3, 6, 6), 0.3f);
+  std::set<int> seen;
+  for (int i = 0; i < 40; ++i) {
+    mixed.forward(x);
+    const int c = mixed.last_choice();
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 9);
+    seen.insert(c);
+    // complete the fwd/bwd pair so caches stay consistent
+    Tensor g(Shape::nchw(1, 6, 6, 6), 0.01f);
+    mixed.backward(g);
+  }
+  // With uniform alpha and tau=5, sampling must explore several ops.
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(MixedOp, ArgmaxModeIsDeterministic) {
+  util::Rng rng(13), sampler(14);
+  double tau = 5.0;
+  nas::MixedOp mixed("cell", 3, 6, 1, rng, &sampler, &tau, 2);
+  mixed.alpha().param().value[4] = 5.0f;
+  mixed.set_argmax_mode(true);
+  Tensor x(Shape::nchw(1, 3, 6, 6), 0.3f);
+  for (int i = 0; i < 5; ++i) {
+    mixed.forward(x);
+    EXPECT_EQ(mixed.last_choice(), 4);
+  }
+  EXPECT_EQ(mixed.best_choice(), 4);
+}
+
+TEST(MixedOp, BackwardAccumulatesAlphaGradient) {
+  util::Rng rng(15), sampler(16);
+  double tau = 2.0;
+  nas::MixedOp mixed("cell", 3, 6, 1, rng, &sampler, &tau, 3);
+  Tensor x(Shape::nchw(2, 3, 6, 6), 0.4f);
+  mixed.forward(x);
+  Tensor g(Shape::nchw(2, 6, 6, 6), 0.05f);
+  mixed.backward(g);
+  EXPECT_GT(mixed.alpha().param().grad.abs_max(), 0.0f);
+  // Gradient must sum to ~0 (softmax Jacobian property).
+  double sum = 0.0;
+  for (int i = 0; i < 9; ++i) sum += mixed.alpha().param().grad[i];
+  EXPECT_NEAR(sum, 0.0, 1e-4);
+}
+
+TEST(MixedOp, ArgmaxModeProducesNoAlphaGradient) {
+  util::Rng rng(17), sampler(18);
+  double tau = 2.0;
+  nas::MixedOp mixed("cell", 3, 6, 1, rng, &sampler, &tau, 2);
+  mixed.set_argmax_mode(true);
+  Tensor x(Shape::nchw(1, 3, 6, 6), 0.4f);
+  mixed.forward(x);
+  mixed.backward(Tensor(Shape::nchw(1, 6, 6, 6), 0.05f));
+  EXPECT_FLOAT_EQ(mixed.alpha().param().grad.abs_max(), 0.0f);
+}
+
+TEST(MixedOp, WeightParamsExcludeAlpha) {
+  util::Rng rng(19), sampler(20);
+  double tau = 1.0;
+  nas::MixedOp mixed("cell", 3, 6, 1, rng, &sampler, &tau, 2);
+  std::vector<nn::Parameter*> params;
+  mixed.collect_parameters(params);
+  for (const auto* p : params) {
+    EXPECT_EQ(p->name.find("alpha"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- search space --
+
+TEST(SearchSpace, PaperSizeIsNineToTheTwelve) {
+  nas::SearchSpaceConfig cfg;
+  EXPECT_EQ(cfg.num_cells, 12);
+  EXPECT_DOUBLE_EQ(nas::search_space_size(cfg), std::pow(9.0, 12.0));
+}
+
+TEST(SearchSpace, GeometryFollowsResNetStaging) {
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 12;
+  cfg.base_width = 8;
+  const auto g = nas::space_geometry(kObs, cfg);
+  ASSERT_EQ(g.cells.size(), 12u);
+  EXPECT_EQ(g.stem.stride, 2);
+  // Stage widths 8, 16, 32 with stride-2 transitions at cells 4 and 8.
+  EXPECT_EQ(g.cells[0].out_c, 8);
+  EXPECT_EQ(g.cells[4].out_c, 16);
+  EXPECT_EQ(g.cells[4].stride, 2);
+  EXPECT_EQ(g.cells[8].out_c, 32);
+  EXPECT_EQ(g.cells[8].stride, 2);
+  EXPECT_EQ(g.feature_dim, 256);
+  // Geometry chains: each cell's input is the previous cell's output.
+  for (std::size_t i = 1; i < g.cells.size(); ++i) {
+    EXPECT_EQ(g.cells[i].in_c, g.cells[i - 1].out_c);
+    EXPECT_EQ(g.cells[i].in_h, g.cells[i - 1].out_h);
+  }
+}
+
+TEST(DerivedArch, ToStringAndRandom) {
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 3;
+  util::Rng rng(21);
+  const auto arch = nas::DerivedArch::random(cfg, rng);
+  EXPECT_EQ(arch.choices.size(), 3u);
+  const std::string s = arch.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '-'), 2);
+}
+
+TEST(DerivedArch, FromStringRoundTrips) {
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 5;
+  util::Rng rng(77);
+  const auto arch = nas::DerivedArch::random(cfg, rng);
+  const auto parsed = nas::DerivedArch::from_string(arch.to_string());
+  EXPECT_EQ(parsed.choices, arch.choices);
+}
+
+TEST(DerivedArch, FromStringRejectsUnknownOp) {
+  EXPECT_THROW(nas::DerivedArch::from_string("conv3-warpdrive"),
+               std::runtime_error);
+}
+
+TEST(DerivedArch, BuildMatchesSpecs) {
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 6;
+  util::Rng rng(22);
+  const auto arch = nas::DerivedArch::random(cfg, rng);
+  auto bb = nas::build_derived_backbone(arch, kObs, cfg, rng);
+  const auto specs = nas::derived_specs(arch, kObs, cfg);
+  ASSERT_EQ(bb.specs.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(bb.specs[i].macs(), specs[i].macs());
+    EXPECT_EQ(bb.specs[i].group, specs[i].group);
+  }
+  // Runnable end to end.
+  Tensor x(Shape::nchw(2, 3, 12, 12), 0.2f);
+  const Tensor y = bb.module->forward(x);
+  EXPECT_EQ(y.shape(), Shape::mat(2, 256));
+}
+
+TEST(DerivedArch, SpecGroupsMapCells) {
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 6;
+  nas::DerivedArch arch;
+  arch.choices = {0, 1, 2, 3, 4, 5};  // mixed ops, no skip
+  const auto specs = nas::derived_specs(arch, kObs, cfg);
+  EXPECT_EQ(specs.front().group, 0);                    // stem
+  EXPECT_EQ(specs.back().group, 7);                     // fc
+  EXPECT_EQ(nn::num_groups(specs), 8);
+}
+
+// ------------------------------------------------------------- Supernet ---
+
+TEST(Supernet, ForwardBackwardShapes) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(23);
+  nas::Supernet net(kObs, cfg, rng);
+  EXPECT_EQ(net.num_cells(), 6);
+  EXPECT_EQ(net.feature_dim(), 256);
+  Tensor x(Shape::nchw(3, 3, 12, 12), 0.25f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), Shape::mat(3, 256));
+  const Tensor dx = net.backward(Tensor(y.shape(), 0.01f));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Supernet, AlphaParamsSeparateFromWeights) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(24);
+  nas::Supernet net(kObs, cfg, rng);
+  const auto alphas = net.alpha_params();
+  EXPECT_EQ(alphas.size(), 6u);
+  std::vector<nn::Parameter*> weights;
+  net.collect_parameters(weights);
+  for (auto* a : alphas) {
+    EXPECT_EQ(std::find(weights.begin(), weights.end(), a), weights.end());
+  }
+}
+
+TEST(Supernet, BackwardFillsAlphaAndWeightGrads) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(25);
+  nas::Supernet net(kObs, cfg, rng);
+  Tensor x(Shape::nchw(2, 3, 12, 12), 0.25f);
+  const Tensor y = net.forward(x);
+  net.backward(Tensor(y.shape(), 0.02f));
+  float alpha_grad = 0.0f;
+  for (auto* a : net.alpha_params()) alpha_grad += a->grad.abs_max();
+  EXPECT_GT(alpha_grad, 0.0f);
+  net.zero_alpha_grads();
+  for (auto* a : net.alpha_params()) EXPECT_FLOAT_EQ(a->grad.abs_max(), 0.0f);
+}
+
+TEST(Supernet, TemperatureDecay) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  cfg.tau_init = 5.0;   // paper
+  cfg.tau_decay = 0.98; // paper
+  util::Rng rng(26);
+  nas::Supernet net(kObs, cfg, rng);
+  EXPECT_DOUBLE_EQ(net.temperature(), 5.0);
+  net.decay_temperature();
+  EXPECT_DOUBLE_EQ(net.temperature(), 4.9);
+}
+
+TEST(Supernet, DeriveUsesArgmaxAlpha) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(27);
+  nas::Supernet net(kObs, cfg, rng);
+  for (int c = 0; c < 6; ++c) {
+    net.cell(c).alpha().param().value[c % 9] = 4.0f;
+  }
+  const auto arch = net.derive();
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(arch.choices[static_cast<std::size_t>(c)], c % 9);
+  }
+}
+
+TEST(Supernet, SpecsForChoicesConsistentWithDerived) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(28);
+  nas::Supernet net(kObs, cfg, rng);
+  std::vector<int> choices = {0, 3, 8, 1, 5, 2};
+  const auto specs = net.specs_for(choices);
+  nas::DerivedArch arch;
+  arch.choices = choices;
+  const auto ref = nas::derived_specs(arch, kObs, cfg.space);
+  ASSERT_EQ(specs.size(), ref.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].macs(), ref[i].macs());
+    EXPECT_EQ(specs[i].group, ref[i].group);
+  }
+}
+
+TEST(Supernet, CellSpecsReflectOpCost) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(29);
+  nas::Supernet net(kObs, cfg, rng);
+  // conv5 (op 1) must cost more MACs than conv3 (op 0); skip (op 8) zero.
+  const auto conv3 = net.cell_specs(0, 0);
+  const auto conv5 = net.cell_specs(0, 1);
+  const auto skip = net.cell_specs(0, 8);
+  EXPECT_GT(nn::network_macs(conv5), nn::network_macs(conv3));
+  EXPECT_EQ(nn::network_macs(skip), 0);
+}
+
+TEST(Supernet, PaperScaleTwelveCellSpace) {
+  // The paper's full 12-cell space (9^12 architectures) must build and run.
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 12;
+  util::Rng rng(31);
+  nas::Supernet net(kObs, cfg, rng);
+  EXPECT_EQ(net.num_cells(), 12);
+  EXPECT_NEAR(nas::search_space_size(cfg.space), std::pow(9.0, 12.0), 1.0);
+  Tensor x(Shape::nchw(1, 3, 12, 12), 0.2f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), Shape::mat(1, 256));
+  net.backward(Tensor(y.shape(), 0.01f));
+  float alpha_grad = 0.0f;
+  for (auto* a : net.alpha_params()) alpha_grad += a->grad.abs_max();
+  EXPECT_GT(alpha_grad, 0.0f);
+  // Derived 12-cell nets build and match their specs.
+  const auto arch = net.derive();
+  const auto specs = net.specs_for(arch.choices);
+  util::Rng rng2(32);
+  auto bb = nas::build_derived_backbone(arch, kObs, cfg.space, rng2);
+  EXPECT_EQ(nn::network_macs(bb.specs), nn::network_macs(specs));
+}
+
+TEST(Supernet, SampledChoicesVaryAcrossForwards) {
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = 6;
+  util::Rng rng(30);
+  nas::Supernet net(kObs, cfg, rng);
+  Tensor x(Shape::nchw(1, 3, 12, 12), 0.2f);
+  std::set<std::vector<int>> seen;
+  for (int i = 0; i < 10; ++i) {
+    net.forward(x);
+    seen.insert(net.last_choices());
+  }
+  EXPECT_GE(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/module.h"
+#include "nn/optim.h"
+
+namespace a3cs {
+namespace {
+
+using nn::Parameter;
+using nn::Shape;
+using nn::Tensor;
+
+Parameter make_param(std::vector<float> value, std::vector<float> grad) {
+  Parameter p("p", Shape::vec(static_cast<int>(value.size())));
+  p.value = Tensor(p.value.shape(), std::move(value));
+  p.grad = Tensor(p.grad.shape(), std::move(grad));
+  return p;
+}
+
+// ------------------------------------------------------------------ SGD ---
+
+TEST(Sgd, PlainStep) {
+  Parameter p = make_param({1.0f, 2.0f}, {0.5f, -0.5f});
+  nn::Sgd opt(0.1);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.0f + 0.1f * 0.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p = make_param({0.0f}, {1.0f});
+  nn::Sgd opt(0.1, 0.9);
+  opt.step({&p});  // v = 1, w = -0.1
+  EXPECT_FLOAT_EQ(p.value[0], -0.1f);
+  opt.step({&p});  // v = 0.9 + 1 = 1.9, w = -0.1 - 0.19 = -0.29
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-6);
+}
+
+TEST(Sgd, LearningRateSettable) {
+  nn::Sgd opt(0.1);
+  opt.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+}
+
+// -------------------------------------------------------------- RMSProp ---
+
+TEST(RmsProp, FirstStepMatchesFormula) {
+  Parameter p = make_param({1.0f}, {2.0f});
+  const double alpha = 0.99, eps = 1e-5, lr = 0.1;
+  nn::RmsProp opt(lr, alpha, eps);
+  opt.step({&p});
+  const double v = (1 - alpha) * 4.0;
+  const double expected = 1.0 - lr * 2.0 / (std::sqrt(v) + eps);
+  EXPECT_NEAR(p.value[0], expected, 1e-6);
+}
+
+TEST(RmsProp, StateIsPerParameter) {
+  Parameter p1 = make_param({0.0f}, {1.0f});
+  Parameter p2 = make_param({0.0f}, {100.0f});
+  nn::RmsProp opt(0.1);
+  opt.step({&p1, &p2});
+  // RMS normalization: both should move by roughly lr / sqrt(1-alpha).
+  EXPECT_NEAR(p1.value[0] / p2.value[0], 1.0, 1e-2);
+}
+
+// ----------------------------------------------------------------- Adam ---
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the very first Adam step is ~lr * sign(g).
+  Parameter p = make_param({0.0f}, {3.0f});
+  nn::Adam opt(0.01);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], -0.01, 1e-4);
+}
+
+TEST(Adam, MatchesReferenceImplementation) {
+  Parameter p = make_param({1.0f}, {0.5f});
+  const double lr = 0.1, b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  nn::Adam opt(lr, b1, b2, eps);
+
+  double m = 0, v = 0, w = 1.0;
+  std::vector<double> grads = {0.5, -0.2, 0.7};
+  for (std::size_t t = 0; t < grads.size(); ++t) {
+    p.grad[0] = static_cast<float>(grads[t]);
+    opt.step({&p});
+    m = b1 * m + (1 - b1) * grads[t];
+    v = b2 * v + (1 - b2) * grads[t] * grads[t];
+    const double mh = m / (1 - std::pow(b1, static_cast<double>(t + 1)));
+    const double vh = v / (1 - std::pow(b2, static_cast<double>(t + 1)));
+    w -= lr * mh / (std::sqrt(vh) + eps);
+    EXPECT_NEAR(p.value[0], w, 1e-5) << "step " << t;
+  }
+}
+
+// ------------------------------------------------- convergence checks -----
+
+class QuadraticConvergence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QuadraticConvergence, MinimizesQuadratic) {
+  // f(w) = 0.5 * ||w - target||^2, grad = w - target.
+  Parameter p = make_param({5.0f, -3.0f, 2.0f}, {0, 0, 0});
+  const std::vector<float> target = {1.0f, 1.0f, -1.0f};
+  std::unique_ptr<nn::Optimizer> opt;
+  const std::string name = GetParam();
+  if (name == "sgd") opt = std::make_unique<nn::Sgd>(0.2);
+  else if (name == "sgdm") opt = std::make_unique<nn::Sgd>(0.05, 0.9);
+  else if (name == "rmsprop") opt = std::make_unique<nn::RmsProp>(0.05);
+  else opt = std::make_unique<nn::Adam>(0.2);
+
+  for (int it = 0; it < 400; ++it) {
+    for (int i = 0; i < 3; ++i) {
+      p.grad[i] = p.value[i] - target[static_cast<std::size_t>(i)];
+    }
+    opt->step({&p});
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p.value[i], target[static_cast<std::size_t>(i)], 0.05)
+        << name << " dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, QuadraticConvergence,
+                         ::testing::Values("sgd", "sgdm", "rmsprop", "adam"));
+
+// ------------------------------------------------------------ schedule ----
+
+TEST(LinearLrSchedule, HoldsThenDecays) {
+  nn::LinearLrSchedule s(1e-3, 1e-4, 100, 1000);
+  EXPECT_DOUBLE_EQ(s.at(0), 1e-3);
+  EXPECT_DOUBLE_EQ(s.at(100), 1e-3);
+  EXPECT_DOUBLE_EQ(s.at(1000), 1e-4);
+  EXPECT_DOUBLE_EQ(s.at(5000), 1e-4);
+  const double mid = s.at(550);  // halfway through the decay
+  EXPECT_NEAR(mid, (1e-3 + 1e-4) / 2, 1e-9);
+  EXPECT_LT(s.at(700), s.at(300));
+}
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "grad_check.h"
+#include "nn/actor_critic.h"
+#include "nn/layer_spec.h"
+#include "nn/zoo.h"
+
+namespace a3cs {
+namespace {
+
+using nn::LayerSpec;
+using nn::ObsSpec;
+using nn::Shape;
+using nn::Tensor;
+
+const ObsSpec kObs{3, 12, 12};
+
+// ----------------------------------------------------------- LayerSpec ----
+
+TEST(LayerSpec, ConvGeometryAndMacs) {
+  const auto s = LayerSpec::conv("c", 3, 8, 3, 2, 12, 12);
+  EXPECT_EQ(s.out_h, 6);
+  EXPECT_EQ(s.out_w, 6);
+  EXPECT_EQ(s.macs(), 6LL * 6 * 8 * 3 * 3 * 3);
+  EXPECT_EQ(s.params(), 8LL * 3 * 9 + 8);
+  EXPECT_EQ(s.input_elems(), 3 * 12 * 12);
+  EXPECT_EQ(s.output_elems(), 8 * 6 * 6);
+}
+
+TEST(LayerSpec, DepthwiseMacs) {
+  const auto s = LayerSpec::depthwise("d", 8, 3, 1, 6, 6);
+  EXPECT_EQ(s.kind, LayerSpec::Kind::kDepthwiseConv);
+  EXPECT_EQ(s.macs(), 6LL * 6 * 8 * 9);
+  EXPECT_EQ(s.params(), 8LL * 9 + 8);
+}
+
+TEST(LayerSpec, LinearMacs) {
+  const auto s = LayerSpec::linear("l", 128, 256);
+  EXPECT_EQ(s.macs(), 128LL * 256);
+  EXPECT_EQ(s.params(), 128LL * 256 + 256);
+}
+
+TEST(LayerSpec, NetworkAggregates) {
+  std::vector<LayerSpec> specs = {LayerSpec::linear("a", 10, 20),
+                                  LayerSpec::linear("b", 20, 5)};
+  EXPECT_EQ(nn::network_macs(specs), 200 + 100);
+  EXPECT_EQ(nn::network_params(specs), 220 + 105);
+}
+
+TEST(LayerSpec, SequentialGroupAssignment) {
+  std::vector<LayerSpec> specs = {LayerSpec::linear("a", 2, 2),
+                                  LayerSpec::linear("b", 2, 2),
+                                  LayerSpec::linear("c", 2, 2)};
+  specs[1].group = 5;
+  nn::assign_sequential_groups(specs);
+  EXPECT_EQ(specs[0].group, 6);
+  EXPECT_EQ(specs[1].group, 5);
+  EXPECT_EQ(specs[2].group, 7);
+  EXPECT_EQ(nn::num_groups(specs), 8);
+}
+
+// ----------------------------------------------------------------- zoo ----
+
+TEST(Zoo, FiveModelNames) {
+  const auto& names = nn::zoo_model_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "Vanilla");
+  EXPECT_EQ(names[4], "ResNet-74");
+}
+
+class ZooModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModelTest, BuildsAndRuns) {
+  util::Rng rng(50);
+  auto agent = nn::build_zoo_agent(GetParam(), kObs, 4, rng);
+  ASSERT_NE(agent.net, nullptr);
+  EXPECT_FALSE(agent.specs.empty());
+
+  Tensor obs(Shape::nchw(2, kObs.channels, kObs.height, kObs.width), 0.3f);
+  const auto out = agent.net->forward(obs);
+  EXPECT_EQ(out.logits.shape(), Shape::mat(2, 4));
+  EXPECT_EQ(out.value.shape(), Shape::mat(2, 1));
+  for (std::int64_t i = 0; i < out.logits.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(out.logits[i]));
+  }
+}
+
+TEST_P(ZooModelTest, SpecsParamsMatchModuleParams) {
+  util::Rng rng(51);
+  auto agent = nn::build_zoo_agent(GetParam(), kObs, 4, rng);
+  // Heads (policy/value) are not in the backbone specs; subtract them.
+  const std::int64_t head_params = (256LL * 4 + 4) + (256 + 1);
+  EXPECT_EQ(nn::network_params(agent.specs),
+            agent.net->num_parameters() - head_params);
+}
+
+TEST_P(ZooModelTest, SpecsHaveSequentialGroups) {
+  util::Rng rng(52);
+  auto agent = nn::build_zoo_agent(GetParam(), kObs, 4, rng);
+  for (const auto& s : agent.specs) EXPECT_GE(s.group, 0);
+  EXPECT_EQ(nn::num_groups(agent.specs),
+            static_cast<int>(agent.specs.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::ValuesIn(nn::zoo_model_names()));
+
+TEST(Zoo, FlopsLadderIsMonotone) {
+  // The paper's premise: Vanilla < ResNet-14 < -20 < -38 < -74 in FLOPs.
+  std::int64_t prev = 0;
+  for (const auto& name : nn::zoo_model_names()) {
+    const auto specs = nn::zoo_model_specs(name, kObs, 4);
+    const std::int64_t macs = nn::network_macs(specs);
+    EXPECT_GT(macs, prev) << name;
+    prev = macs;
+  }
+}
+
+TEST(Zoo, UnknownModelThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(nn::build_zoo_agent("ResNet-9000", kObs, 4, rng),
+               std::runtime_error);
+}
+
+TEST(Zoo, ResNetDepthsFollowPaperFormula) {
+  // (depth - 2) / 6 blocks per stage; each block = 2 convs (+ projection).
+  const auto r14 = nn::zoo_model_specs("ResNet-14", kObs, 4);
+  const auto r20 = nn::zoo_model_specs("ResNet-20", kObs, 4);
+  // ResNet-14: stem + 3 stages x 2 blocks x 2 convs + 2 projections + fc.
+  EXPECT_EQ(r14.size(), 1u + 12u + 2u + 1u);
+  EXPECT_EQ(r20.size(), 1u + 18u + 2u + 1u);
+}
+
+// --------------------------------------------------------- ActorCritic ----
+
+TEST(ActorCritic, HeadGradientsReachBackbone) {
+  util::Rng rng(53);
+  auto agent = nn::build_zoo_agent("Vanilla", kObs, 3, rng);
+  Tensor obs(Shape::nchw(1, kObs.channels, kObs.height, kObs.width), 0.2f);
+  agent.net->forward(obs);
+  Tensor dlogits(Shape::mat(1, 3), {0.1f, -0.2f, 0.1f});
+  Tensor dvalue(Shape::mat(1, 1), {0.5f});
+  agent.net->zero_grad();
+  agent.net->backward(dlogits, dvalue);
+  // The very first backbone parameter (stem conv weight) must see gradient.
+  EXPECT_GT(agent.net->parameters().front()->grad.abs_max(), 0.0f);
+}
+
+TEST(ActorCritic, SaveLoadRoundTrip) {
+  util::Rng rng(54);
+  auto a = nn::build_zoo_agent("Vanilla", kObs, 3, rng);
+  util::Rng rng2(999);
+  auto b = nn::build_zoo_agent("Vanilla", kObs, 3, rng2);
+
+  const std::string path = ::testing::TempDir() + "/agent_ckpt.bin";
+  a.net->save(path);
+  b.net->load(path);
+
+  Tensor obs(Shape::nchw(1, kObs.channels, kObs.height, kObs.width), 0.4f);
+  const auto ya = a.net->forward(obs);
+  const auto yb = b.net->forward(obs);
+  for (std::int64_t i = 0; i < ya.logits.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.logits[i], yb.logits[i]);
+  }
+  EXPECT_FLOAT_EQ(ya.value[0], yb.value[0]);
+  std::filesystem::remove(path);
+}
+
+TEST(ActorCritic, CopyFromMatchesOutputs) {
+  util::Rng rng(55), rng2(56);
+  auto a = nn::build_zoo_agent("Vanilla", kObs, 3, rng);
+  auto b = nn::build_zoo_agent("Vanilla", kObs, 3, rng2);
+  b.net->copy_from(*a.net);
+  Tensor obs(Shape::nchw(1, kObs.channels, kObs.height, kObs.width), -0.1f);
+  const auto ya = a.net->forward(obs);
+  const auto yb = b.net->forward(obs);
+  for (std::int64_t i = 0; i < ya.logits.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.logits[i], yb.logits[i]);
+  }
+}
+
+TEST(ActorCritic, LoadRejectsWrongArchitecture) {
+  util::Rng rng(57);
+  auto small = nn::build_zoo_agent("Vanilla", kObs, 3, rng);
+  auto big = nn::build_zoo_agent("ResNet-14", kObs, 3, rng);
+  const std::string path = ::testing::TempDir() + "/mismatch_ckpt.bin";
+  small.net->save(path);
+  EXPECT_THROW(big.net->load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ActorCritic, BatchSizeCanVaryBetweenForwards) {
+  util::Rng rng(58);
+  auto agent = nn::build_zoo_agent("Vanilla", kObs, 3, rng);
+  Tensor obs1(Shape::nchw(1, kObs.channels, kObs.height, kObs.width), 0.1f);
+  Tensor obs8(Shape::nchw(8, kObs.channels, kObs.height, kObs.width), 0.1f);
+  const auto y1 = agent.net->forward(obs1);
+  const auto y8 = agent.net->forward(obs8);
+  EXPECT_EQ(y1.logits.shape()[0], 1);
+  EXPECT_EQ(y8.logits.shape()[0], 8);
+  // Identical rows (same input) must produce identical logits.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(y8.logits.at2(0, j), y8.logits.at2(7, j), 1e-5);
+    EXPECT_NEAR(y8.logits.at2(0, j), y1.logits.at2(0, j), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,248 @@
+// Property-based sweeps: randomized invariants across the whole stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "accel/predictor.h"
+#include "accel/space.h"
+#include "arcade/games.h"
+#include "nas/arch.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace a3cs {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ------------------------------------------------- predictor invariants ---
+
+class PredictorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictorPropertyTest, InvariantsHoldForRandomConfigs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  accel::Predictor pred;
+
+  // Random network: 3-8 layers of mixed kinds.
+  std::vector<nn::LayerSpec> specs;
+  int c = 2 + rng.uniform_int(6);
+  int h = 12, w = 12;
+  const int layers = 3 + rng.uniform_int(6);
+  for (int l = 0; l < layers; ++l) {
+    const int kind = rng.uniform_int(3);
+    if (kind == 0 || h < 3) {
+      specs.push_back(
+          nn::LayerSpec::linear("fc" + std::to_string(l), c * h * w, 64));
+      c = 64;
+      h = w = 1;
+    } else if (kind == 1) {
+      const int oc = 4 + rng.uniform_int(28);
+      const int stride = 1 + rng.uniform_int(2);
+      specs.push_back(nn::LayerSpec::conv("conv" + std::to_string(l), c, oc,
+                                          rng.bernoulli(0.5) ? 3 : 5, stride,
+                                          h, w));
+      c = oc;
+      h = specs.back().out_h;
+      w = specs.back().out_w;
+    } else {
+      specs.push_back(nn::LayerSpec::depthwise("dw" + std::to_string(l), c, 3,
+                                               1, h, w));
+    }
+  }
+  nn::assign_sequential_groups(specs);
+
+  const int chunks = 1 + rng.uniform_int(4);
+  accel::AcceleratorSpace space(chunks, nn::num_groups(specs));
+  const auto cfg = space.decode(space.random_choices(rng));
+  const auto eval = pred.evaluate(specs, cfg);
+
+  // II is the max chunk, latency the sum.
+  double sum = 0.0, mx = 0.0;
+  for (double cyc : eval.chunk_cycles) {
+    sum += cyc;
+    mx = std::max(mx, cyc);
+  }
+  EXPECT_NEAR(eval.latency_cycles, sum, 1e-6);
+  EXPECT_NEAR(eval.ii_cycles, mx, 1e-6);
+
+  // Per-layer costs are positive and finite; groups partition the latency.
+  double group_sum = 0.0;
+  for (int g = 0; g < nn::num_groups(specs); ++g) {
+    group_sum += eval.group_cycles(specs, g);
+  }
+  EXPECT_NEAR(group_sum, eval.latency_cycles, 1e-6);
+  for (const auto& lc : eval.layers) {
+    EXPECT_GT(lc.cycles, 0.0);
+    EXPECT_TRUE(std::isfinite(lc.cycles));
+    EXPECT_GE(lc.cycles, std::max(lc.compute_cycles, lc.memory_cycles) - 1e-9);
+    EXPECT_GT(lc.energy_nj, 0.0);
+  }
+
+  // DSP accounting and feasibility consistency.
+  int pes = 0;
+  for (const auto& chunk : cfg.chunks) pes += chunk.num_pes();
+  EXPECT_EQ(eval.dsp_used, pes);
+  const bool within = eval.dsp_used <= pred.budget().dsp &&
+                      eval.bram_used <= pred.budget().bram18k;
+  EXPECT_EQ(eval.feasible, within);
+  EXPECT_EQ(eval.feasible, eval.resource_overflow == 0.0);
+  if (eval.feasible) {
+    EXPECT_NEAR(eval.fps,
+                pred.budget().clock_mhz * 1e6 / eval.ii_cycles, 1e-3);
+  } else {
+    EXPECT_EQ(eval.fps, 0.0);
+  }
+  EXPECT_TRUE(std::isfinite(pred.scalar_cost(eval)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, PredictorPropertyTest,
+                         ::testing::Range(0, 25));
+
+// ------------------------------------------------- derived-arch sweeps ----
+
+class ArchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchPropertyTest, RandomArchBuildsAndMatchesSpecs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  nas::SearchSpaceConfig cfg;
+  cfg.num_cells = 3 + rng.uniform_int(7);
+  const auto arch = nas::DerivedArch::random(cfg, rng);
+  const nn::ObsSpec obs{3, 12, 12};
+
+  auto bb = nas::build_derived_backbone(arch, obs, cfg, rng);
+  const auto specs = nas::derived_specs(arch, obs, cfg);
+  ASSERT_EQ(bb.specs.size(), specs.size());
+  EXPECT_EQ(nn::network_macs(bb.specs), nn::network_macs(specs));
+  EXPECT_EQ(nn::network_params(bb.specs), nn::network_params(specs));
+
+  // The module is runnable and parameter-consistent with the specs.
+  Tensor x(Shape::nchw(1, 3, 12, 12), 0.1f);
+  const Tensor y = bb.module->forward(x);
+  EXPECT_EQ(y.shape(), Shape::mat(1, 256));
+  std::vector<nn::Parameter*> params;
+  bb.module->collect_parameters(params);
+  std::int64_t total = 0;
+  for (auto* p : params) total += p->numel();
+  EXPECT_EQ(total, nn::network_params(specs));
+
+  // Group ids cover stem(0) .. fc(num_cells+1) without gaps beyond skips.
+  for (const auto& s : specs) {
+    EXPECT_GE(s.group, 0);
+    EXPECT_LE(s.group, cfg.num_cells + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArchs, ArchPropertyTest,
+                         ::testing::Range(0, 15));
+
+// ------------------------------------------------- tensor round trips -----
+
+class SerializeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeFuzzTest, RandomTensorsRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  Shape shape;
+  switch (rng.uniform_int(4)) {
+    case 0: shape = Shape::vec(1 + rng.uniform_int(64)); break;
+    case 1: shape = Shape::mat(1 + rng.uniform_int(16), 1 + rng.uniform_int(16)); break;
+    case 2:
+      shape = Shape::nchw(1 + rng.uniform_int(3), 1 + rng.uniform_int(8),
+                          1 + rng.uniform_int(12), 1 + rng.uniform_int(12));
+      break;
+    default: shape = Shape::scalar(); break;
+  }
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1e4, 1e4));
+  }
+  std::stringstream ss;
+  tensor::write_tensor(ss, t);
+  const Tensor u = tensor::read_tensor(ss);
+  ASSERT_EQ(u.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) ASSERT_FLOAT_EQ(u[i], t[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SerializeFuzzTest, ::testing::Range(0, 20));
+
+// ------------------------------------------------- GEMM composition -------
+
+TEST(GemmProperty, CompositionAssociates) {
+  util::Rng rng(42);
+  const int n = 6;
+  Tensor a(Shape::mat(n, n)), b(Shape::mat(n, n)), x(Shape::mat(n, 1));
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.uniform(-1, 1));
+    b[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  for (int i = 0; i < n; ++i) x[i] = static_cast<float>(rng.uniform(-1, 1));
+
+  // (A @ B) @ x
+  Tensor ab(Shape::mat(n, n)), ab_x(Shape::mat(n, 1));
+  tensor::gemm(a, false, b, false, ab);
+  tensor::gemm(ab, false, x, false, ab_x);
+  // A @ (B @ x)
+  Tensor bx(Shape::mat(n, 1)), a_bx(Shape::mat(n, 1));
+  tensor::gemm(b, false, x, false, bx);
+  tensor::gemm(a, false, bx, false, a_bx);
+
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ab_x[i], a_bx[i], 1e-4);
+}
+
+TEST(GemmProperty, TransposeIsInvolution) {
+  util::Rng rng(43);
+  Tensor a(Shape::mat(4, 7));
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  // (A^T)^T @ I == A: compute A^T @ I' then transpose again via gemm flags.
+  Tensor eye(Shape::mat(4, 4));
+  for (int i = 0; i < 4; ++i) eye.at2(i, i) = 1.0f;
+  Tensor out(Shape::mat(4, 7));
+  // out = eye @ A (no transpose) must equal A.
+  tensor::gemm(eye, false, a, false, out);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(out[i], a[i]);
+  // out = (A^T)^T via trans_a on A^T data is exercised by GemmTest; here we
+  // check eye^T == eye path.
+  Tensor out2(Shape::mat(4, 7));
+  tensor::gemm(eye, true, a, false, out2);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(out2[i], a[i]);
+}
+
+// ------------------------------------------------- env score invariant ----
+
+class ScoreAccountingTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScoreAccountingTest, EpisodeScoreEqualsRewardSum) {
+  auto env = arcade::make_game(GetParam(), 1234);
+  env->reset();
+  util::Rng rng(77);
+  double total = 0.0;
+  bool done = false;
+  while (!done) {
+    const auto r = env->step(rng.uniform_int(env->num_actions()));
+    total += r.reward;
+    done = r.done;
+  }
+  // GridGame tracks its own episode_score; the two must agree. We can't
+  // access it through Env, so instead re-run deterministically and compare.
+  auto env2 = arcade::make_game(GetParam(), 1234);
+  env2->reset();
+  util::Rng rng2(77);
+  double total2 = 0.0;
+  bool done2 = false;
+  while (!done2) {
+    const auto r = env2->step(rng2.uniform_int(env2->num_actions()));
+    total2 += r.reward;
+    done2 = r.done;
+  }
+  EXPECT_DOUBLE_EQ(total, total2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, ScoreAccountingTest,
+                         ::testing::ValuesIn(arcade::all_game_titles()));
+
+}  // namespace
+}  // namespace a3cs

@@ -1,0 +1,535 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "arcade/games.h"
+#include "arcade/vec_env.h"
+#include "nn/zoo.h"
+#include "rl/a2c.h"
+#include "rl/eval.h"
+#include "rl/losses.h"
+#include "rl/rollout.h"
+#include "rl/teacher.h"
+#include "tensor/ops.h"
+
+namespace a3cs {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+// ---------------------------------------------------------- targets -------
+
+TEST(Targets, SingleEnvNoBootstrapOnDone) {
+  // Rollout of 3 steps, one env, episode ends at step 1.
+  std::vector<std::vector<double>> rewards = {{1.0}, {2.0}, {3.0}};
+  std::vector<std::vector<bool>> dones = {{false}, {true}, {false}};
+  Tensor values(Shape::mat(3, 1), {0.5f, 0.25f, 0.125f});
+  Tensor boot(Shape::mat(1, 1), {10.0f});
+  const auto t = rl::compute_targets(rewards, dones, values, boot, 0.5);
+  // Step 2: R = 3 + 0.5*10 = 8. Step 1 (done): R = 2. Step 0: R = 1 + 0.5*2.
+  EXPECT_FLOAT_EQ(t.returns[2], 8.0f);
+  EXPECT_FLOAT_EQ(t.returns[1], 2.0f);
+  EXPECT_FLOAT_EQ(t.returns[0], 2.0f);
+  EXPECT_FLOAT_EQ(t.advantages[0], 2.0f - 0.5f);
+  EXPECT_FLOAT_EQ(t.advantages[1], 2.0f - 0.25f);
+  EXPECT_FLOAT_EQ(t.advantages[2], 8.0f - 0.125f);
+}
+
+TEST(Targets, MultiEnvLayout) {
+  // 2 steps x 2 envs, no dones; layout is step-major.
+  std::vector<std::vector<double>> rewards = {{1.0, 10.0}, {2.0, 20.0}};
+  std::vector<std::vector<bool>> dones = {{false, false}, {false, false}};
+  Tensor values(Shape::mat(4, 1), {0, 0, 0, 0});
+  Tensor boot(Shape::mat(2, 1), {4.0f, 40.0f});
+  const auto t = rl::compute_targets(rewards, dones, values, boot, 1.0);
+  EXPECT_FLOAT_EQ(t.returns[0], 1 + 2 + 4);    // env0 step0
+  EXPECT_FLOAT_EQ(t.returns[1], 10 + 20 + 40); // env1 step0
+  EXPECT_FLOAT_EQ(t.returns[2], 2 + 4);        // env0 step1
+  EXPECT_FLOAT_EQ(t.returns[3], 20 + 40);      // env1 step1
+}
+
+TEST(Targets, GammaZeroGivesImmediateRewards) {
+  std::vector<std::vector<double>> rewards = {{3.0}, {5.0}};
+  std::vector<std::vector<bool>> dones = {{false}, {false}};
+  Tensor values(Shape::mat(2, 1));
+  Tensor boot(Shape::mat(1, 1), {100.0f});
+  const auto t = rl::compute_targets(rewards, dones, values, boot, 0.0);
+  EXPECT_FLOAT_EQ(t.returns[0], 3.0f);
+  EXPECT_FLOAT_EQ(t.returns[1], 5.0f);
+}
+
+TEST(Targets, TdErrorModeMatchesPaperEquation) {
+  // A_t = r_t + gamma * V(s_{t+1}) - V(s_t), no multi-step accumulation.
+  std::vector<std::vector<double>> rewards = {{1.0}, {2.0}};
+  std::vector<std::vector<bool>> dones = {{false}, {false}};
+  Tensor values(Shape::mat(2, 1), {0.5f, 0.25f});
+  Tensor boot(Shape::mat(1, 1), {4.0f});
+  rl::AdvantageConfig adv;
+  adv.mode = rl::AdvantageConfig::Mode::kTdError;
+  const auto t = rl::compute_targets(rewards, dones, values, boot, 0.5, adv);
+  EXPECT_FLOAT_EQ(t.advantages[0], 1.0f + 0.5f * 0.25f - 0.5f);
+  EXPECT_FLOAT_EQ(t.advantages[1], 2.0f + 0.5f * 4.0f - 0.25f);
+  EXPECT_FLOAT_EQ(t.returns[0], 1.0f + 0.5f * 0.25f);
+  EXPECT_FLOAT_EQ(t.returns[1], 2.0f + 0.5f * 4.0f);
+}
+
+TEST(Targets, GaeLambdaOneEqualsNStep) {
+  std::vector<std::vector<double>> rewards = {{1.0, -1.0}, {2.0, 0.5},
+                                              {0.0, 3.0}};
+  std::vector<std::vector<bool>> dones = {{false, false}, {true, false},
+                                          {false, false}};
+  Tensor values(Shape::mat(6, 1), {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f});
+  Tensor boot(Shape::mat(2, 1), {1.5f, -0.5f});
+  rl::AdvantageConfig gae1;
+  gae1.mode = rl::AdvantageConfig::Mode::kGae;
+  gae1.gae_lambda = 1.0;
+  const auto a = rl::compute_targets(rewards, dones, values, boot, 0.9);
+  const auto b = rl::compute_targets(rewards, dones, values, boot, 0.9, gae1);
+  for (std::size_t i = 0; i < a.advantages.size(); ++i) {
+    EXPECT_NEAR(a.advantages[i], b.advantages[i], 1e-5) << i;
+    EXPECT_NEAR(a.returns[i], b.returns[i], 1e-5) << i;
+  }
+}
+
+TEST(Targets, GaeLambdaZeroEqualsTdError) {
+  std::vector<std::vector<double>> rewards = {{1.0}, {2.0}, {3.0}};
+  std::vector<std::vector<bool>> dones = {{false}, {true}, {false}};
+  Tensor values(Shape::mat(3, 1), {0.5f, 0.25f, 0.125f});
+  Tensor boot(Shape::mat(1, 1), {10.0f});
+  rl::AdvantageConfig gae0;
+  gae0.mode = rl::AdvantageConfig::Mode::kGae;
+  gae0.gae_lambda = 0.0;
+  rl::AdvantageConfig td;
+  td.mode = rl::AdvantageConfig::Mode::kTdError;
+  const auto a = rl::compute_targets(rewards, dones, values, boot, 0.7, gae0);
+  const auto b = rl::compute_targets(rewards, dones, values, boot, 0.7, td);
+  for (std::size_t i = 0; i < a.advantages.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.advantages[i], b.advantages[i]) << i;
+  }
+}
+
+TEST(Targets, GaeInterpolatesBetweenExtremes) {
+  std::vector<std::vector<double>> rewards = {{1.0}, {1.0}, {1.0}};
+  std::vector<std::vector<bool>> dones = {{false}, {false}, {false}};
+  Tensor values(Shape::mat(3, 1), {0.0f, 0.0f, 0.0f});
+  Tensor boot(Shape::mat(1, 1), {0.0f});
+  auto adv_at = [&](double lambda) {
+    rl::AdvantageConfig cfg;
+    cfg.mode = rl::AdvantageConfig::Mode::kGae;
+    cfg.gae_lambda = lambda;
+    return rl::compute_targets(rewards, dones, values, boot, 1.0, cfg)
+        .advantages[0];
+  };
+  const float lo = adv_at(0.0), mid = adv_at(0.5), hi = adv_at(1.0);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+  EXPECT_FLOAT_EQ(lo, 1.0f);   // one-step td-error
+  EXPECT_FLOAT_EQ(hi, 3.0f);   // full 3-step return
+}
+
+TEST(Targets, DoneCutsGaePropagation) {
+  std::vector<std::vector<double>> rewards = {{0.0}, {100.0}};
+  std::vector<std::vector<bool>> dones = {{true}, {false}};
+  Tensor values(Shape::mat(2, 1), {0.0f, 0.0f});
+  Tensor boot(Shape::mat(1, 1), {0.0f});
+  rl::AdvantageConfig gae;
+  gae.mode = rl::AdvantageConfig::Mode::kGae;
+  gae.gae_lambda = 0.95;
+  const auto t = rl::compute_targets(rewards, dones, values, boot, 0.99, gae);
+  // Step 0 ends its episode: the +100 of step 1 must not leak backwards.
+  EXPECT_FLOAT_EQ(t.advantages[0], 0.0f);
+}
+
+// --------------------------------------------------------- task loss ------
+
+// Numerically validates dL/dlogits via central differences on a scalar-ized
+// loss recomputed from the definition.
+double loss_scalar(const Tensor& logits, const std::vector<int>& actions,
+                   const std::vector<float>& advantages,
+                   const std::vector<float>& returns, const Tensor& values,
+                   const rl::LossCoefficients& coef, const Tensor* tea_probs,
+                   const Tensor* tea_values) {
+  const int b = logits.shape()[0], a = logits.shape()[1];
+  Tensor probs(logits.shape()), logp(logits.shape());
+  tensor::softmax_rows(logits, probs);
+  tensor::log_softmax_rows(logits, logp);
+  double total = 0.0;
+  for (int i = 0; i < b; ++i) {
+    total += -static_cast<double>(advantages[static_cast<std::size_t>(i)]) *
+             logp.at2(i, static_cast<int>(actions[static_cast<std::size_t>(i)]));
+    const double v = values.at2(i, 0);
+    total += coef.value_coef * 0.5 *
+             (v - returns[static_cast<std::size_t>(i)]) *
+             (v - returns[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < a; ++j) {
+      total += coef.entropy_beta * probs.at2(i, j) * logp.at2(i, j);
+    }
+    if (tea_probs != nullptr && coef.distill_actor != 0.0) {
+      for (int j = 0; j < a; ++j) {
+        const double q = tea_probs->at2(i, j);
+        if (q > 1e-9) {
+          total += coef.distill_actor * q * (std::log(q) - logp.at2(i, j));
+        }
+      }
+    }
+    if (tea_values != nullptr && coef.distill_critic != 0.0) {
+      const double dv = v - tea_values->at2(i, 0);
+      total += coef.distill_critic * 0.5 * dv * dv;
+    }
+  }
+  return total / b;
+}
+
+class TaskLossGradTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TaskLossGradTest, MatchesFiniteDifference) {
+  const bool with_distill = GetParam();
+  util::Rng rng(123);
+  const int b = 4, a = 5;
+  Tensor logits(Shape::mat(b, a));
+  Tensor values(Shape::mat(b, 1));
+  Tensor tea_logits(Shape::mat(b, a));
+  Tensor tea_values(Shape::mat(b, 1));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = static_cast<float>(rng.uniform(-1, 1));
+    tea_logits[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  for (int i = 0; i < b; ++i) {
+    values.at2(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    tea_values.at2(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+  }
+  Tensor tea_probs(tea_logits.shape());
+  tensor::softmax_rows(tea_logits, tea_probs);
+
+  std::vector<int> actions = {0, 2, 4, 1};
+  std::vector<float> advantages = {0.5f, -1.0f, 2.0f, 0.1f};
+  std::vector<float> returns = {1.0f, 0.0f, -0.5f, 2.0f};
+
+  rl::LossCoefficients coef;
+  coef.entropy_beta = 0.01;
+  coef.distill_actor = with_distill ? 0.1 : 0.0;
+  coef.distill_critic = with_distill ? 0.001 : 0.0;
+
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &advantages;
+  in.returns = &returns;
+  if (with_distill) {
+    in.teacher_probs = &tea_probs;
+    in.teacher_values = &tea_values;
+  }
+  rl::LossStats stats;
+  const auto grads = rl::task_loss(in, coef, &stats);
+
+  const Tensor* tp = with_distill ? &tea_probs : nullptr;
+  const Tensor* tv = with_distill ? &tea_values : nullptr;
+
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + static_cast<float>(eps);
+    const double lp = loss_scalar(logits, actions, advantages, returns,
+                                  values, coef, tp, tv);
+    logits[i] = orig - static_cast<float>(eps);
+    const double lm = loss_scalar(logits, actions, advantages, returns,
+                                  values, coef, tp, tv);
+    logits[i] = orig;
+    EXPECT_NEAR(grads.dlogits[i], (lp - lm) / (2 * eps), 2e-4) << "logit " << i;
+  }
+  for (int i = 0; i < b; ++i) {
+    const float orig = values.at2(i, 0);
+    values.at2(i, 0) = orig + static_cast<float>(eps);
+    const double lp = loss_scalar(logits, actions, advantages, returns,
+                                  values, coef, tp, tv);
+    values.at2(i, 0) = orig - static_cast<float>(eps);
+    const double lm = loss_scalar(logits, actions, advantages, returns,
+                                  values, coef, tp, tv);
+    values.at2(i, 0) = orig;
+    EXPECT_NEAR(grads.dvalue.at2(i, 0), (lp - lm) / (2 * eps), 2e-4)
+        << "value " << i;
+  }
+
+  // The scalar stats must agree with the reference loss.
+  const double ref = loss_scalar(logits, actions, advantages, returns, values,
+                                 coef, tp, tv);
+  EXPECT_NEAR(stats.total, ref, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutDistill, TaskLossGradTest,
+                         ::testing::Bool());
+
+TEST(TaskLoss, DistillRequiresTeacherSignals) {
+  Tensor logits(Shape::mat(1, 2));
+  Tensor values(Shape::mat(1, 1));
+  std::vector<int> actions = {0};
+  std::vector<float> adv = {1.0f}, ret = {1.0f};
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &adv;
+  in.returns = &ret;
+  rl::LossCoefficients coef;
+  coef.distill_actor = 0.1;
+  EXPECT_THROW(rl::task_loss(in, coef), std::runtime_error);
+}
+
+TEST(TaskLoss, PerfectTeacherMatchGivesZeroDistillGradient) {
+  // When the student equals the teacher the distillation terms vanish.
+  util::Rng rng(7);
+  Tensor logits(Shape::mat(2, 3));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  Tensor probs(logits.shape());
+  tensor::softmax_rows(logits, probs);
+  Tensor values(Shape::mat(2, 1), {0.3f, -0.2f});
+
+  std::vector<int> actions = {0, 1};
+  std::vector<float> adv = {0.0f, 0.0f};  // kill the policy-gradient term
+  std::vector<float> ret = {0.3f, -0.2f}; // kill the value term
+
+  rl::LossCoefficients coef;
+  coef.entropy_beta = 0.0;
+  coef.distill_actor = 1.0;
+  coef.distill_critic = 1.0;
+
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &adv;
+  in.returns = &ret;
+  in.teacher_probs = &probs;
+  in.teacher_values = &values;
+  rl::LossStats stats;
+  const auto grads = rl::task_loss(in, coef, &stats);
+  EXPECT_LT(grads.dlogits.abs_max(), 1e-6f);
+  EXPECT_LT(grads.dvalue.abs_max(), 1e-6f);
+  EXPECT_NEAR(stats.distill_actor, 0.0, 1e-6);
+  EXPECT_NEAR(stats.distill_critic, 0.0, 1e-6);
+}
+
+TEST(Coefficients, PaperValues) {
+  const auto c = rl::paper_distill_coefficients();
+  EXPECT_DOUBLE_EQ(c.entropy_beta, 1e-2);
+  EXPECT_DOUBLE_EQ(c.distill_actor, 1e-1);
+  EXPECT_DOUBLE_EQ(c.distill_critic, 1e-3);
+  const auto p = rl::policy_only_distill_coefficients();
+  EXPECT_DOUBLE_EQ(p.distill_actor, 1e-1);
+  EXPECT_DOUBLE_EQ(p.distill_critic, 0.0);
+  const auto n = rl::no_distill_coefficients();
+  EXPECT_DOUBLE_EQ(n.distill_actor, 0.0);
+  EXPECT_DOUBLE_EQ(n.distill_critic, 0.0);
+}
+
+// ----------------------------------------------------------- rollout ------
+
+TEST(Rollout, CollectsRequestedLength) {
+  arcade::VecEnv envs("Catch", 3, 500);
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(1);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  rl::RolloutCollector collector(envs, util::Rng(2));
+  const auto rollout = collector.collect(*agent.net, 5);
+  EXPECT_EQ(rollout.length(), 5);
+  EXPECT_EQ(rollout.num_envs(), 3);
+  EXPECT_EQ(rollout.actions.size(), 5u);
+  EXPECT_EQ(rollout.rewards.size(), 5u);
+  EXPECT_EQ(collector.frames(), 15);
+  const Tensor stacked = rollout.stacked_obs();
+  EXPECT_EQ(stacked.shape(), tensor::Shape::nchw(15, 3, 12, 12));
+}
+
+TEST(Rollout, StackedObsPreservesStepMajorOrder) {
+  arcade::VecEnv envs("Catch", 2, 500);
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(1);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  rl::RolloutCollector collector(envs, util::Rng(2));
+  const auto rollout = collector.collect(*agent.net, 3);
+  const Tensor stacked = rollout.stacked_obs();
+  const std::int64_t frame = rollout.obs[0].numel() / 2;
+  for (int t = 0; t < 3; ++t) {
+    for (int e = 0; e < 2; ++e) {
+      for (std::int64_t i = 0; i < frame; ++i) {
+        ASSERT_FLOAT_EQ(stacked[(t * 2 + e) * frame + i],
+                        rollout.obs[static_cast<std::size_t>(t)][e * frame + i]);
+      }
+    }
+  }
+}
+
+TEST(SampleActions, FollowsPolicyDistribution) {
+  Tensor logits(Shape::mat(1, 3), {0.0f, 0.0f, 5.0f});  // ~99% action 2
+  util::Rng rng(3);
+  int count2 = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (rl::sample_actions(logits, rng)[0] == 2) ++count2;
+  }
+  EXPECT_GT(count2, 450);
+}
+
+// --------------------------------------------------------------- A2C ------
+
+TEST(A2c, LearnsCatch) {
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(11);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+
+  // Untrained baseline under the GREEDY policy: an untrained argmax policy
+  // degenerates to a constant action (paddle pinned to a wall), while a
+  // trained one tracks pellets — a much sharper learning signal than the
+  // stochastic evaluation (random paddle motion already catches plenty).
+  rl::EvalConfig ecfg;
+  ecfg.episodes = 10;
+  ecfg.sample_actions = false;
+  const double before = rl::evaluate_agent(*agent.net, "Catch", ecfg).mean_score;
+
+  arcade::VecEnv envs("Catch", 16, 123);
+  rl::A2cConfig cfg;
+  cfg.loss = rl::no_distill_coefficients();
+  cfg.num_envs = 16;
+  cfg.lr_start = 2e-3;  // scaled-down runs learn faster at a higher lr
+  cfg.lr_end = 2e-4;
+  rl::A2cTrainer trainer(*agent.net, envs, cfg);
+  trainer.train(40000);
+
+  const double after = rl::evaluate_agent(*agent.net, "Catch", ecfg).mean_score;
+  EXPECT_GT(after, before + 4.0)
+      << "A2C failed to improve on Catch: " << before << " -> " << after;
+}
+
+TEST(A2c, UpdateChangesParametersAndReportsStats) {
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(12);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  arcade::VecEnv envs("Catch", 2, 9);
+  rl::RolloutCollector collector(envs, util::Rng(10));
+  const auto rollout = collector.collect(*agent.net, 5);
+
+  std::vector<Tensor> before;
+  for (auto* p : agent.net->parameters()) before.push_back(p->value);
+  rl::A2cConfig cfg;
+  cfg.loss = rl::no_distill_coefficients();
+  nn::RmsProp opt(1e-3);
+  const auto stats = rl::a2c_update(*agent.net, rollout, cfg, opt, nullptr);
+  EXPECT_GE(stats.loss.entropy, 0.0);
+  EXPECT_GT(stats.grad_norm, 0.0f);
+  double delta = 0.0;
+  const auto params = agent.net->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    delta += (params[i]->value - before[i]).norm();
+  }
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(A2c, DistillationPullsStudentTowardTeacher) {
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng1(13), rng2(14);
+  auto student = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                     probe->num_actions(), rng1);
+  auto teacher = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                     probe->num_actions(), rng2);
+
+  // Give the teacher a sharply non-uniform policy so the starting KL is
+  // meaningful (fresh policy heads are both near-uniform -> KL ~ 0).
+  for (nn::Parameter* p : teacher.net->parameters()) {
+    if (p->name == "policy_head.weight") p->value *= 50.0f;
+  }
+
+  arcade::VecEnv envs("Catch", 4, 77);
+  rl::A2cConfig cfg;
+  cfg.loss = rl::paper_distill_coefficients();
+  cfg.loss.distill_actor = 10.0;  // exaggerate to make the pull measurable
+  rl::RolloutCollector collector(envs, util::Rng(15));
+
+  auto kl_to_teacher = [&](const Tensor& obs) {
+    const auto s = student.net->forward(obs);
+    const auto t = teacher.net->forward(obs);
+    Tensor sp(s.logits.shape()), tp(t.logits.shape());
+    tensor::softmax_rows(s.logits, sp);
+    tensor::softmax_rows(t.logits, tp);
+    double kl = 0.0;
+    for (int i = 0; i < sp.shape()[0]; ++i) {
+      for (int j = 0; j < sp.shape()[1]; ++j) {
+        const double q = tp.at2(i, j);
+        if (q > 1e-9) kl += q * std::log(q / std::max(1e-9f, sp.at2(i, j)));
+      }
+    }
+    return kl / sp.shape()[0];
+  };
+
+  const auto probe_rollout = collector.collect(*student.net, 5);
+  const Tensor probe_obs = probe_rollout.stacked_obs();
+  const double kl_before = kl_to_teacher(probe_obs);
+
+  nn::RmsProp opt(1e-3);
+  for (int i = 0; i < 60; ++i) {
+    const auto rollout = collector.collect(*student.net, 5);
+    rl::a2c_update(*student.net, rollout, cfg, opt, teacher.net.get());
+  }
+  const double kl_after = kl_to_teacher(probe_obs);
+  EXPECT_LT(kl_after, kl_before * 0.8);
+}
+
+// -------------------------------------------------------------- eval ------
+
+TEST(Eval, ReportsRequestedEpisodeCount) {
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(16);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  rl::EvalConfig cfg;
+  cfg.episodes = 5;
+  const auto r = rl::evaluate_agent(*agent.net, "Catch", cfg);
+  EXPECT_EQ(r.episodes, 5);
+  EXPECT_LE(r.min_score, r.mean_score);
+  EXPECT_GE(r.max_score, r.mean_score);
+}
+
+TEST(Eval, DeterministicForSameSeed) {
+  auto probe = arcade::make_game("Catch", 1);
+  util::Rng rng(17);
+  auto agent = nn::build_zoo_agent("Vanilla", probe->obs_spec(),
+                                   probe->num_actions(), rng);
+  rl::EvalConfig cfg;
+  cfg.episodes = 3;
+  cfg.seed = 555;
+  const auto a = rl::evaluate_agent(*agent.net, "Catch", cfg);
+  const auto b = rl::evaluate_agent(*agent.net, "Catch", cfg);
+  EXPECT_DOUBLE_EQ(a.mean_score, b.mean_score);
+}
+
+// ------------------------------------------------------------ teacher -----
+
+TEST(Teacher, TrainAndCacheRoundTrip) {
+  rl::TeacherConfig cfg;
+  cfg.train_frames = 400;  // smoke-scale
+  cfg.cache_dir = ::testing::TempDir() + "/a3cs_teachers";
+  std::filesystem::remove_all(cfg.cache_dir);
+
+  auto t1 = rl::get_or_train_teacher("Catch", cfg);
+  ASSERT_NE(t1, nullptr);
+  // Second call must load the cached checkpoint and produce identical
+  // outputs.
+  auto t2 = rl::get_or_train_teacher("Catch", cfg);
+  Tensor obs(Shape::nchw(1, 3, 12, 12), 0.25f);
+  const auto y1 = t1->forward(obs);
+  const auto y2 = t2->forward(obs);
+  for (std::int64_t i = 0; i < y1.logits.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y1.logits[i], y2.logits[i]);
+  }
+  std::filesystem::remove_all(cfg.cache_dir);
+}
+
+}  // namespace
+}  // namespace a3cs
