@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/a3cs_bench_common.dir/bench_common.cc.o.d"
+  "liba3cs_bench_common.a"
+  "liba3cs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

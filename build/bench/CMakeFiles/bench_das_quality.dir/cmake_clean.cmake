@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_das_quality.dir/bench_das_quality.cc.o"
+  "CMakeFiles/bench_das_quality.dir/bench_das_quality.cc.o.d"
+  "bench_das_quality"
+  "bench_das_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_das_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosearch_full.dir/cosearch_full.cpp.o"
+  "CMakeFiles/cosearch_full.dir/cosearch_full.cpp.o.d"
+  "cosearch_full"
+  "cosearch_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosearch_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

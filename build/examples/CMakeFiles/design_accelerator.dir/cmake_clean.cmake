@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_accelerator.dir/design_accelerator.cpp.o"
+  "CMakeFiles/design_accelerator.dir/design_accelerator.cpp.o.d"
+  "design_accelerator"
+  "design_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/play_demo.dir/play_demo.cpp.o"
+  "CMakeFiles/play_demo.dir/play_demo.cpp.o.d"
+  "play_demo"
+  "play_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/play_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

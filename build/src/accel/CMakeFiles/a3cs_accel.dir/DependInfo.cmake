@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/config_io.cc" "src/accel/CMakeFiles/a3cs_accel.dir/config_io.cc.o" "gcc" "src/accel/CMakeFiles/a3cs_accel.dir/config_io.cc.o.d"
+  "/root/repo/src/accel/dnnbuilder.cc" "src/accel/CMakeFiles/a3cs_accel.dir/dnnbuilder.cc.o" "gcc" "src/accel/CMakeFiles/a3cs_accel.dir/dnnbuilder.cc.o.d"
+  "/root/repo/src/accel/fa3c.cc" "src/accel/CMakeFiles/a3cs_accel.dir/fa3c.cc.o" "gcc" "src/accel/CMakeFiles/a3cs_accel.dir/fa3c.cc.o.d"
+  "/root/repo/src/accel/predictor.cc" "src/accel/CMakeFiles/a3cs_accel.dir/predictor.cc.o" "gcc" "src/accel/CMakeFiles/a3cs_accel.dir/predictor.cc.o.d"
+  "/root/repo/src/accel/space.cc" "src/accel/CMakeFiles/a3cs_accel.dir/space.cc.o" "gcc" "src/accel/CMakeFiles/a3cs_accel.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/a3cs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

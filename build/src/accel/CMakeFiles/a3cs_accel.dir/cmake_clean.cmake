@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_accel.dir/config_io.cc.o"
+  "CMakeFiles/a3cs_accel.dir/config_io.cc.o.d"
+  "CMakeFiles/a3cs_accel.dir/dnnbuilder.cc.o"
+  "CMakeFiles/a3cs_accel.dir/dnnbuilder.cc.o.d"
+  "CMakeFiles/a3cs_accel.dir/fa3c.cc.o"
+  "CMakeFiles/a3cs_accel.dir/fa3c.cc.o.d"
+  "CMakeFiles/a3cs_accel.dir/predictor.cc.o"
+  "CMakeFiles/a3cs_accel.dir/predictor.cc.o.d"
+  "CMakeFiles/a3cs_accel.dir/space.cc.o"
+  "CMakeFiles/a3cs_accel.dir/space.cc.o.d"
+  "liba3cs_accel.a"
+  "liba3cs_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

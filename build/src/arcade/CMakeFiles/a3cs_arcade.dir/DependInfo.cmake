@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arcade/collect.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/collect.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/collect.cc.o.d"
+  "/root/repo/src/arcade/duel.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/duel.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/duel.cc.o.d"
+  "/root/repo/src/arcade/games.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/games.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/games.cc.o.d"
+  "/root/repo/src/arcade/paddle.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/paddle.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/paddle.cc.o.d"
+  "/root/repo/src/arcade/render.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/render.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/render.cc.o.d"
+  "/root/repo/src/arcade/shooter.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/shooter.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/shooter.cc.o.d"
+  "/root/repo/src/arcade/vec_env.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/vec_env.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/vec_env.cc.o.d"
+  "/root/repo/src/arcade/wrappers.cc" "src/arcade/CMakeFiles/a3cs_arcade.dir/wrappers.cc.o" "gcc" "src/arcade/CMakeFiles/a3cs_arcade.dir/wrappers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/a3cs_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

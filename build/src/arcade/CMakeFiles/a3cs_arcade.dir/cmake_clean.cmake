@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_arcade.dir/collect.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/collect.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/duel.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/duel.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/games.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/games.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/paddle.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/paddle.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/render.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/render.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/shooter.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/shooter.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/vec_env.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/vec_env.cc.o.d"
+  "CMakeFiles/a3cs_arcade.dir/wrappers.cc.o"
+  "CMakeFiles/a3cs_arcade.dir/wrappers.cc.o.d"
+  "liba3cs_arcade.a"
+  "liba3cs_arcade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_arcade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

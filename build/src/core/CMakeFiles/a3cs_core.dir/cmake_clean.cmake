@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_core.dir/cosearch.cc.o"
+  "CMakeFiles/a3cs_core.dir/cosearch.cc.o.d"
+  "CMakeFiles/a3cs_core.dir/pipeline.cc.o"
+  "CMakeFiles/a3cs_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/a3cs_core.dir/result_io.cc.o"
+  "CMakeFiles/a3cs_core.dir/result_io.cc.o.d"
+  "liba3cs_core.a"
+  "liba3cs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_das.dir/das.cc.o"
+  "CMakeFiles/a3cs_das.dir/das.cc.o.d"
+  "liba3cs_das.a"
+  "liba3cs_das.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_das.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/arch.cc" "src/nas/CMakeFiles/a3cs_nas.dir/arch.cc.o" "gcc" "src/nas/CMakeFiles/a3cs_nas.dir/arch.cc.o.d"
+  "/root/repo/src/nas/gumbel.cc" "src/nas/CMakeFiles/a3cs_nas.dir/gumbel.cc.o" "gcc" "src/nas/CMakeFiles/a3cs_nas.dir/gumbel.cc.o.d"
+  "/root/repo/src/nas/mixed_op.cc" "src/nas/CMakeFiles/a3cs_nas.dir/mixed_op.cc.o" "gcc" "src/nas/CMakeFiles/a3cs_nas.dir/mixed_op.cc.o.d"
+  "/root/repo/src/nas/ops.cc" "src/nas/CMakeFiles/a3cs_nas.dir/ops.cc.o" "gcc" "src/nas/CMakeFiles/a3cs_nas.dir/ops.cc.o.d"
+  "/root/repo/src/nas/supernet.cc" "src/nas/CMakeFiles/a3cs_nas.dir/supernet.cc.o" "gcc" "src/nas/CMakeFiles/a3cs_nas.dir/supernet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/a3cs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_nas.dir/arch.cc.o"
+  "CMakeFiles/a3cs_nas.dir/arch.cc.o.d"
+  "CMakeFiles/a3cs_nas.dir/gumbel.cc.o"
+  "CMakeFiles/a3cs_nas.dir/gumbel.cc.o.d"
+  "CMakeFiles/a3cs_nas.dir/mixed_op.cc.o"
+  "CMakeFiles/a3cs_nas.dir/mixed_op.cc.o.d"
+  "CMakeFiles/a3cs_nas.dir/ops.cc.o"
+  "CMakeFiles/a3cs_nas.dir/ops.cc.o.d"
+  "CMakeFiles/a3cs_nas.dir/supernet.cc.o"
+  "CMakeFiles/a3cs_nas.dir/supernet.cc.o.d"
+  "liba3cs_nas.a"
+  "liba3cs_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/actor_critic.cc" "src/nn/CMakeFiles/a3cs_nn.dir/actor_critic.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/actor_critic.cc.o.d"
+  "/root/repo/src/nn/blocks.cc" "src/nn/CMakeFiles/a3cs_nn.dir/blocks.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/blocks.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/a3cs_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_spec.cc" "src/nn/CMakeFiles/a3cs_nn.dir/layer_spec.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/layer_spec.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/a3cs_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/a3cs_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/a3cs_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/nn/CMakeFiles/a3cs_nn.dir/zoo.cc.o" "gcc" "src/nn/CMakeFiles/a3cs_nn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_nn.dir/actor_critic.cc.o"
+  "CMakeFiles/a3cs_nn.dir/actor_critic.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/blocks.cc.o"
+  "CMakeFiles/a3cs_nn.dir/blocks.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/init.cc.o"
+  "CMakeFiles/a3cs_nn.dir/init.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/layer_spec.cc.o"
+  "CMakeFiles/a3cs_nn.dir/layer_spec.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/layers.cc.o"
+  "CMakeFiles/a3cs_nn.dir/layers.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/module.cc.o"
+  "CMakeFiles/a3cs_nn.dir/module.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/optim.cc.o"
+  "CMakeFiles/a3cs_nn.dir/optim.cc.o.d"
+  "CMakeFiles/a3cs_nn.dir/zoo.cc.o"
+  "CMakeFiles/a3cs_nn.dir/zoo.cc.o.d"
+  "liba3cs_nn.a"
+  "liba3cs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

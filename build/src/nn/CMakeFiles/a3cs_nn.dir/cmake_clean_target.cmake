@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liba3cs_nn.a"
+)

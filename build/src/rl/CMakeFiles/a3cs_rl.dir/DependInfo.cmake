@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a2c.cc" "src/rl/CMakeFiles/a3cs_rl.dir/a2c.cc.o" "gcc" "src/rl/CMakeFiles/a3cs_rl.dir/a2c.cc.o.d"
+  "/root/repo/src/rl/eval.cc" "src/rl/CMakeFiles/a3cs_rl.dir/eval.cc.o" "gcc" "src/rl/CMakeFiles/a3cs_rl.dir/eval.cc.o.d"
+  "/root/repo/src/rl/losses.cc" "src/rl/CMakeFiles/a3cs_rl.dir/losses.cc.o" "gcc" "src/rl/CMakeFiles/a3cs_rl.dir/losses.cc.o.d"
+  "/root/repo/src/rl/rollout.cc" "src/rl/CMakeFiles/a3cs_rl.dir/rollout.cc.o" "gcc" "src/rl/CMakeFiles/a3cs_rl.dir/rollout.cc.o.d"
+  "/root/repo/src/rl/teacher.cc" "src/rl/CMakeFiles/a3cs_rl.dir/teacher.cc.o" "gcc" "src/rl/CMakeFiles/a3cs_rl.dir/teacher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arcade/CMakeFiles/a3cs_arcade.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/a3cs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

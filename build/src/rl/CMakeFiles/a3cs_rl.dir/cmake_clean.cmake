@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_rl.dir/a2c.cc.o"
+  "CMakeFiles/a3cs_rl.dir/a2c.cc.o.d"
+  "CMakeFiles/a3cs_rl.dir/eval.cc.o"
+  "CMakeFiles/a3cs_rl.dir/eval.cc.o.d"
+  "CMakeFiles/a3cs_rl.dir/losses.cc.o"
+  "CMakeFiles/a3cs_rl.dir/losses.cc.o.d"
+  "CMakeFiles/a3cs_rl.dir/rollout.cc.o"
+  "CMakeFiles/a3cs_rl.dir/rollout.cc.o.d"
+  "CMakeFiles/a3cs_rl.dir/teacher.cc.o"
+  "CMakeFiles/a3cs_rl.dir/teacher.cc.o.d"
+  "liba3cs_rl.a"
+  "liba3cs_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_tensor.dir/ops.cc.o"
+  "CMakeFiles/a3cs_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/a3cs_tensor.dir/serialize.cc.o"
+  "CMakeFiles/a3cs_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/a3cs_tensor.dir/shape.cc.o"
+  "CMakeFiles/a3cs_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/a3cs_tensor.dir/tensor.cc.o"
+  "CMakeFiles/a3cs_tensor.dir/tensor.cc.o.d"
+  "liba3cs_tensor.a"
+  "liba3cs_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

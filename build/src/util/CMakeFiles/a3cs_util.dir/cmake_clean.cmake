@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3cs_util.dir/config.cc.o"
+  "CMakeFiles/a3cs_util.dir/config.cc.o.d"
+  "CMakeFiles/a3cs_util.dir/csv.cc.o"
+  "CMakeFiles/a3cs_util.dir/csv.cc.o.d"
+  "CMakeFiles/a3cs_util.dir/logging.cc.o"
+  "CMakeFiles/a3cs_util.dir/logging.cc.o.d"
+  "CMakeFiles/a3cs_util.dir/rng.cc.o"
+  "CMakeFiles/a3cs_util.dir/rng.cc.o.d"
+  "CMakeFiles/a3cs_util.dir/stats.cc.o"
+  "CMakeFiles/a3cs_util.dir/stats.cc.o.d"
+  "CMakeFiles/a3cs_util.dir/table.cc.o"
+  "CMakeFiles/a3cs_util.dir/table.cc.o.d"
+  "liba3cs_util.a"
+  "liba3cs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3cs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arcade_test.dir/arcade_test.cc.o"
+  "CMakeFiles/arcade_test.dir/arcade_test.cc.o.d"
+  "arcade_test"
+  "arcade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arcade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

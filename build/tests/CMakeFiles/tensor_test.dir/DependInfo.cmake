@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/a3cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/das/CMakeFiles/a3cs_das.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/a3cs_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/a3cs_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/a3cs_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/arcade/CMakeFiles/a3cs_arcade.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/a3cs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a3cs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a3cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

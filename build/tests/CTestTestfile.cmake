@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build/tests/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_layers_test "/root/repo/build/tests/nn_layers_test")
+set_tests_properties(nn_layers_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_optim_test "/root/repo/build/tests/nn_optim_test")
+set_tests_properties(nn_optim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_zoo_test "/root/repo/build/tests/nn_zoo_test")
+set_tests_properties(nn_zoo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arcade_test "/root/repo/build/tests/arcade_test")
+set_tests_properties(arcade_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rl_test "/root/repo/build/tests/rl_test")
+set_tests_properties(rl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nas_test "/root/repo/build/tests/nas_test")
+set_tests_properties(nas_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(accel_test "/root/repo/build/tests/accel_test")
+set_tests_properties(accel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(das_test "/root/repo/build/tests/das_test")
+set_tests_properties(das_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build/tests/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;a3cs_test;/root/repo/tests/CMakeLists.txt;0;")
