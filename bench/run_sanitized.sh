@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Build the util + obs test binaries under ASan/UBSan (or another sanitizer)
+# and run them. The obs layer is the most concurrency-heavy part of the tree
+# (atomic metrics, the shared trace writer, the profiler's thread-local
+# cursors), so it gets sanitized coverage on every change.
+#
+#   bench/run_sanitized.sh              # address+undefined (default)
+#   A3CS_SANITIZE=thread bench/run_sanitized.sh
+set -eu
+
+SAN="${A3CS_SANITIZE:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-san-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target util_test obs_test
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+status=0
+for t in util_test obs_test; do
+  echo "== $t ($SAN) =="
+  "$BUILD/tests/$t" || status=$?
+done
+exit "$status"

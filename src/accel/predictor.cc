@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace a3cs::accel {
@@ -192,6 +194,10 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
 
 HwEval Predictor::evaluate(const std::vector<nn::LayerSpec>& specs,
                            const AcceleratorConfig& config) const {
+  A3CS_PROF_SCOPE("predictor-eval");
+  static obs::Counter& evals =
+      obs::MetricsRegistry::global().counter("predictor.evals");
+  evals.inc();
   A3CS_CHECK(!config.chunks.empty(), "accelerator needs at least one chunk");
   const int groups = nn::num_groups(specs);
   A3CS_CHECK(static_cast<int>(config.group_to_chunk.size()) >= groups,

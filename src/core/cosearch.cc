@@ -1,6 +1,12 @@
 #include "core/cosearch.h"
 
+#include <chrono>
+#include <sstream>
+
 #include "arcade/games.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -50,7 +56,8 @@ CoSearchEngine::CoSearchEngine(const std::string& game_title,
   }
 }
 
-void CoSearchEngine::apply_cost_penalty_to_alpha() {
+double CoSearchEngine::apply_cost_penalty_to_alpha(accel::HwEval* eval_out) {
+  A3CS_PROF_SCOPE("cost-penalty");
   // Eq. 8: the activated operator of each cell is charged the layer-wise
   // cycle count it incurs on the current optimal accelerator hw(phi*). The
   // single-path sample of the most recent (training) forward stands in for
@@ -58,31 +65,52 @@ void CoSearchEngine::apply_cost_penalty_to_alpha() {
   const std::vector<int> choices = supernet_->last_choices();
   const auto specs = supernet_->specs_for(choices);
   const accel::HwEval eval = das_->derive_eval(specs);
+  double total_penalty = 0.0;
   for (int cell = 0; cell < supernet_->num_cells(); ++cell) {
     const double cycles = eval.group_cycles(specs, cell + 1);
     const double penalty = cfg_.lambda * cycles / cfg_.cost_norm_cycles;
+    total_penalty += penalty;
     supernet_->cell(cell).alpha().add_grad(
         choices[static_cast<std::size_t>(cell)], static_cast<float>(penalty));
   }
+  if (eval_out != nullptr) *eval_out = eval;
+  return total_penalty;
 }
 
-void CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
-                                   nn::Optimizer& alpha_opt, bool update_theta,
-                                   bool update_alpha) {
+IterStats CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
+                                        nn::Optimizer& alpha_opt,
+                                        bool update_theta, bool update_alpha) {
+  A3CS_PROF_SCOPE("cosearch-iter");
+  IterStats stats;
+
   // (1) Rollout with the sampled single-path policy.
-  const rl::Rollout rollout = collector_.collect(*net_, cfg_.a2c.rollout_len);
+  rl::Rollout rollout;
+  {
+    A3CS_PROF_SCOPE("rollout");
+    rollout = collector_.collect(*net_, cfg_.a2c.rollout_len);
+  }
+  double reward_sum = 0.0;
+  std::int64_t reward_n = 0;
+  for (const auto& step_rewards : rollout.rewards) {
+    for (const double r : step_rewards) reward_sum += r;
+    reward_n += static_cast<std::int64_t>(step_rewards.size());
+  }
+  stats.mean_reward = reward_n > 0 ? reward_sum / static_cast<double>(reward_n)
+                                   : 0.0;
 
   // (2) Accelerator step phi -> phi' on the network sampled during the
   // rollout (Alg. 1 line "Update phi in Eq. 9").
   if (cfg_.hardware_aware) {
+    A3CS_PROF_SCOPE("das-update");
     const auto specs = supernet_->specs_for(supernet_->last_choices());
-    das_->step(specs, cfg_.das_steps_per_iter);
+    stats.das_cost = das_->step(specs, cfg_.das_steps_per_iter);
   }
 
   // (3) Task loss: forward the stacked rollout batch, compute head grads,
   // backprop through the supernet. This accumulates BOTH theta and alpha
   // gradients in one pass; which of them are applied is decided in step (5)
   // (both for one-level, alternating for bi-level).
+  A3CS_PROF_SCOPE("a2c-update");
   const auto boot = net_->forward(rollout.last_obs);
   const Tensor batch_obs = rollout.stacked_obs();
   const auto ac = net_->forward(batch_obs);
@@ -118,16 +146,20 @@ void CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
     in.teacher_probs = &teacher_probs;
     in.teacher_values = &teacher_values;
   }
-  const rl::HeadGradients grads = rl::task_loss(in, coef, nullptr);
+  const rl::HeadGradients grads = rl::task_loss(in, coef, &stats.loss);
 
   net_->zero_grad();
   supernet_->zero_alpha_grads();
-  net_->backward(grads.dlogits, grads.dvalue);
+  {
+    A3CS_PROF_SCOPE("backward");
+    net_->backward(grads.dlogits, grads.dvalue);
+  }
 
   // (4) Hardware-cost penalty on alpha (Eq. 8), using the choices of the
   // training forward.
   if (cfg_.hardware_aware && update_alpha) {
-    apply_cost_penalty_to_alpha();
+    stats.cost_penalty = apply_cost_penalty_to_alpha(&stats.hw);
+    stats.hw_valid = true;
   }
 
   // (5) Parameter updates.
@@ -140,11 +172,72 @@ void CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
     auto alphas = supernet_->alpha_params();
     alpha_opt.step(alphas);
   }
+  return stats;
 }
+
+namespace {
+
+// One per-iteration JSONL event: the per-term loss decomposition, rollout
+// return, alpha/tau state, and the hardware-cost trajectory — everything the
+// DNAS literature plots to diagnose co-search (in)stability.
+void emit_iter_event(std::int64_t iter, std::int64_t frames, double tau,
+                     double das_tau, const IterStats& stats,
+                     const std::vector<double>& alpha_entropies) {
+  auto ev = obs::trace_event("cosearch_iter");
+  ev.kv("iter", iter)
+      .kv("frames", frames)
+      .kv("mean_reward", stats.mean_reward)
+      .kv("loss_total", stats.loss.total)
+      .kv("loss_policy", stats.loss.policy)
+      .kv("loss_value", stats.loss.value)
+      .kv("entropy", stats.loss.entropy)
+      .kv("loss_distill_actor", stats.loss.distill_actor)
+      .kv("loss_distill_critic", stats.loss.distill_critic)
+      .kv("tau", tau)
+      .kv("das_tau", das_tau)
+      .kv("das_cost", stats.das_cost)
+      .kv("cost_penalty", stats.cost_penalty);
+  double alpha_h_sum = 0.0;
+  for (std::size_t cell = 0; cell < alpha_entropies.size(); ++cell) {
+    alpha_h_sum += alpha_entropies[cell];
+    ev.kv("alpha_H" + std::to_string(cell), alpha_entropies[cell]);
+  }
+  if (!alpha_entropies.empty()) {
+    ev.kv("alpha_H_mean",
+          alpha_h_sum / static_cast<double>(alpha_entropies.size()));
+  }
+  if (stats.hw_valid) {
+    ev.kv("hw_cycles", stats.hw.ii_cycles)
+        .kv("hw_fps", stats.hw.fps)
+        .kv("hw_dsp", static_cast<std::int64_t>(stats.hw.dsp_used))
+        .kv("hw_bram", stats.hw.bram_used)
+        .kv("hw_feasible", stats.hw.feasible);
+  }
+}
+
+}  // namespace
 
 CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
                                    Callback callback,
                                    std::int64_t callback_every) {
+  const obs::ObsConfig obs_cfg = cfg_.obs.with_env_overrides();
+  if (obs_cfg.profile_enabled) obs::Profiler::set_enabled(true);
+  obs::TraceSession trace_session(obs_cfg);
+  obs::trace_event("cosearch_start")
+      .kv("game", game_title_)
+      .kv("total_frames", total_frames)
+      .kv("num_cells", supernet_->num_cells())
+      .kv("hardware_aware", cfg_.hardware_aware)
+      .kv("bi_level", cfg_.optimization == Optimization::kBiLevel)
+      .kv("lambda", cfg_.lambda)
+      .kv("seed", static_cast<std::int64_t>(cfg_.seed));
+  static obs::Counter& iters_counter =
+      obs::MetricsRegistry::global().counter("cosearch.iterations");
+  static obs::Counter& frames_counter =
+      obs::MetricsRegistry::global().counter("cosearch.frames");
+  obs::Histogram& iter_ms_hist = obs::MetricsRegistry::global().histogram(
+      "cosearch.iter_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+
   nn::RmsProp theta_opt(cfg_.a2c.lr_start);
   nn::Adam alpha_opt(cfg_.alpha_lr);
   const nn::LinearLrSchedule schedule(
@@ -154,20 +247,35 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
       total_frames);
 
   std::int64_t next_callback = callback_every;
+  std::int64_t iter = 0;
   bool alpha_turn = false;  // bi-level: alternate theta / alpha rollouts
   while (collector_.frames() < total_frames) {
+    const std::int64_t frames_before = collector_.frames();
+    const auto iter_start = std::chrono::steady_clock::now();
     theta_opt.set_learning_rate(schedule.at(collector_.frames()));
+    IterStats stats;
     if (cfg_.optimization == Optimization::kOneLevel) {
-      one_iteration(theta_opt, alpha_opt, /*update_theta=*/true,
-                    /*update_alpha=*/true);
+      stats = one_iteration(theta_opt, alpha_opt, /*update_theta=*/true,
+                            /*update_alpha=*/true);
     } else {
       // Bi-level (one-step approximation, as in DARTS-style NACoS): theta on
       // this rollout, alpha on the next, never both — the alpha gradient is
       // then taken at stale weights, which is exactly the bias the paper's
       // Sec. V-D ablation exposes.
-      one_iteration(theta_opt, alpha_opt, /*update_theta=*/!alpha_turn,
-                    /*update_alpha=*/alpha_turn);
+      stats = one_iteration(theta_opt, alpha_opt, /*update_theta=*/!alpha_turn,
+                            /*update_alpha=*/alpha_turn);
       alpha_turn = !alpha_turn;
+    }
+    ++iter;
+    iters_counter.inc();
+    frames_counter.inc(collector_.frames() - frames_before);
+    iter_ms_hist.record(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - iter_start)
+                            .count());
+    if (obs::trace_active() && iter % obs_cfg.trace_every == 0) {
+      emit_iter_event(iter, collector_.frames(), supernet_->temperature(),
+                      das_->temperature(), stats,
+                      supernet_->alpha_entropies());
     }
 
     while (collector_.frames() >= next_tau_decay_) {
@@ -187,6 +295,28 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   if (cfg_.hardware_aware) {
     result.accelerator = das_->derive();
     result.hw_eval = predictor_.evaluate(final_specs, result.accelerator);
+  }
+
+  obs::trace_event("cosearch_end")
+      .kv("iters", iter)
+      .kv("frames", result.frames)
+      .kv("arch", result.arch.to_string())
+      .kv("hw_fps", result.hw_eval.fps)
+      .kv("hw_dsp", static_cast<std::int64_t>(result.hw_eval.dsp_used))
+      .kv("hw_feasible", result.hw_eval.feasible);
+  // When an outer scope (run_a3cs_pipeline) owns the trace session, it also
+  // owns the end-of-run profile report — reporting here would snapshot the
+  // tree mid-pipeline with the enclosing phase scopes still open.
+  const bool owns_reporting = trace_session.active() || !obs::trace_active();
+  if (obs_cfg.profile_enabled && owns_reporting) {
+    if (obs::trace_active()) {
+      obs::Profiler::global().emit_to_trace(*obs::global_trace());
+    }
+    if (obs_cfg.profile_summary) {
+      std::ostringstream oss;
+      obs::Profiler::global().print_summary(oss);
+      A3CS_LOG(INFO) << "co-search wall-time profile:\n" << oss.str();
+    }
   }
   return result;
 }

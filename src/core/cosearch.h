@@ -24,6 +24,7 @@
 #include "das/das.h"
 #include "nas/supernet.h"
 #include "nn/actor_critic.h"
+#include "obs/obs_config.h"
 #include "rl/a2c.h"
 
 namespace a3cs::core {
@@ -47,6 +48,19 @@ struct CoSearchConfig {
   Optimization optimization = Optimization::kOneLevel;
   bool hardware_aware = true;   // false = pure NAS (Fig. 2's search schemes)
   std::uint64_t seed = 21;
+  // Observability: JSONL run tracing + hierarchical profiling. Environment
+  // variables (A3CS_TRACE_PATH, A3CS_PROFILE, ...) override these at run().
+  obs::ObsConfig obs;
+};
+
+// Everything one co-search iteration produced, for tracing/diagnostics.
+struct IterStats {
+  rl::LossStats loss;           // task-loss decomposition (Eq. 12 terms)
+  double mean_reward = 0.0;     // mean per-step env reward over the rollout
+  double cost_penalty = 0.0;    // total lambda-weighted alpha cost (Eq. 8)
+  double das_cost = 0.0;        // last sampled L_cost of the DAS step
+  bool hw_valid = false;        // hw filled (hardware-aware alpha turns only)
+  accel::HwEval hw;             // predictor eval of hw(phi*) on sampled net
 };
 
 struct CoSearchResult {
@@ -75,9 +89,12 @@ class CoSearchEngine {
   const CoSearchConfig& config() const { return cfg_; }
 
  private:
-  void apply_cost_penalty_to_alpha();
-  void one_iteration(nn::Optimizer& theta_opt, nn::Optimizer& alpha_opt,
-                     bool update_theta, bool update_alpha);
+  // Returns the total lambda-weighted penalty added to the alpha gradients;
+  // `eval_out` (if non-null) receives the hw(phi*) evaluation it was
+  // computed from.
+  double apply_cost_penalty_to_alpha(accel::HwEval* eval_out);
+  IterStats one_iteration(nn::Optimizer& theta_opt, nn::Optimizer& alpha_opt,
+                          bool update_theta, bool update_alpha);
 
   CoSearchConfig cfg_;
   std::string game_title_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace a3cs::das {
@@ -22,6 +24,14 @@ DasEngine::DasEngine(const AcceleratorSpace& space, const Predictor& predictor,
 }
 
 double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
+  A3CS_PROF_SCOPE("das-step");
+  static obs::Counter& steps =
+      obs::MetricsRegistry::global().counter("das.steps");
+  static obs::Counter& samples =
+      obs::MetricsRegistry::global().counter("das.samples");
+  steps.inc(n);
+  samples.inc(static_cast<std::int64_t>(n) *
+              std::max(1, cfg_.samples_per_iter));
   double last_cost = 0.0;
   std::vector<nn::Parameter*> params;
   params.reserve(phis_.size());

@@ -1,5 +1,8 @@
 #include "nas/supernet.h"
 
+#include <cmath>
+
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace a3cs::nas {
@@ -23,12 +26,14 @@ Supernet::Supernet(const nn::ObsSpec& obs, SupernetConfig cfg, util::Rng& rng)
 }
 
 nn::Tensor Supernet::forward(const nn::Tensor& x) {
+  A3CS_PROF_SCOPE("supernet-forward");
   nn::Tensor cur = stem_relu_.forward(stem_.forward(x));
   for (auto& cell : cells_) cur = cell->forward(cur);
   return fc_relu_.forward(fc_.forward(flatten_.forward(cur)));
 }
 
 nn::Tensor Supernet::backward(const nn::Tensor& grad_out) {
+  A3CS_PROF_SCOPE("supernet-backward");
   nn::Tensor cur =
       flatten_.backward(fc_.backward(fc_relu_.backward(grad_out)));
   for (auto it = cells_.rbegin(); it != cells_.rend(); ++it) {
@@ -65,6 +70,20 @@ DerivedArch Supernet::derive() const {
   arch.choices.reserve(cells_.size());
   for (const auto& cell : cells_) arch.choices.push_back(cell->best_choice());
   return arch;
+}
+
+std::vector<double> Supernet::alpha_entropies() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    const std::vector<float> probs = cell->alpha().probabilities(1.0);
+    double h = 0.0;
+    for (const float p : probs) {
+      if (p > 0.0f) h -= static_cast<double>(p) * std::log(p);
+    }
+    out.push_back(h);
+  }
+  return out;
 }
 
 void Supernet::set_argmax_mode(bool on) {

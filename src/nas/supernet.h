@@ -42,6 +42,10 @@ class Supernet : public nn::Module {
   std::vector<int> last_choices() const;
   DerivedArch derive() const;
 
+  // Shannon entropy (nats) of each cell's alpha distribution at tau=1 — the
+  // standard DNAS convergence diagnostic (entropy -> 0 as alpha commits).
+  std::vector<double> alpha_entropies() const;
+
   // Evaluate-derived mode: forwards use argmax(alpha) and alpha gradients
   // are disabled.
   void set_argmax_mode(bool on);

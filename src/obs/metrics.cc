@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace a3cs::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  A3CS_CHECK(!bounds_.empty(), "Histogram: needs at least one bucket bound");
+  A3CS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "Histogram: bucket bounds must be sorted ascending");
+  counts_ = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(value);
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  A3CS_CHECK(i < counts_.size(), "Histogram: bucket index out of range");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::total_count() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.value(); }
+
+double Histogram::mean() const {
+  const std::int64_t n = total_count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.bounds = h->bounds();
+    hv.counts.reserve(hv.bounds.size() + 1);
+    for (std::size_t i = 0; i <= hv.bounds.size(); ++i) {
+      hv.counts.push_back(h->bucket_count(i));
+    }
+    hv.total = h->total_count();
+    hv.sum = h->sum();
+    snap.histograms[name] = std::move(hv);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::print(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  util::TextTable table({"metric", "value"});
+  for (const auto& [name, v] : snap.counters) {
+    if (v != 0) table.add_row({name, std::to_string(v)});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (v != 0.0) table.add_row({name, util::TextTable::num(v, 4)});
+  }
+  for (const auto& [name, hv] : snap.histograms) {
+    if (hv.total == 0) continue;
+    table.add_row({name + " (count)", std::to_string(hv.total)});
+    table.add_row({name + " (mean)",
+                   util::TextTable::num(
+                       hv.total ? hv.sum / static_cast<double>(hv.total) : 0.0,
+                       4)});
+  }
+  table.print(out);
+}
+
+}  // namespace a3cs::obs

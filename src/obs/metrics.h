@@ -1,0 +1,115 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, safe to update from any thread. The registry hands out stable
+// references, so hot paths pay one registry lookup (typically hidden behind a
+// function-local static) and then a single relaxed atomic op per update.
+//
+//   static obs::Counter& evals =
+//       obs::MetricsRegistry::global().counter("predictor.evals");
+//   evals.inc();
+//
+// Snapshots are consistent-enough point-in-time copies (each value is read
+// atomically; the set of metrics is read under the registry lock) intended
+// for end-of-run reporting, not for lock-step invariants across metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace a3cs::obs {
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+// bound satisfies `value <= bound`; values above the last bound go to the
+// overflow bucket. Bounds are set at registration and never change.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bucket_count(i) for i in [0, bounds().size()] — the last index is the
+  // overflow bucket.
+  std::int64_t bucket_count(std::size_t i) const;
+  std::int64_t total_count() const;
+  double sum() const;
+  double mean() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> counts_;  // bounds.size() + 1
+  std::atomic<std::int64_t> total_{0};
+  Gauge sum_;
+};
+
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::vector<double> bounds;
+    std::vector<std::int64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::int64_t total = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  // Creation is idempotent: the same name always returns the same object.
+  // References stay valid for the registry's lifetime. Re-registering a
+  // histogram with different bounds keeps the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+  // Zeroes every metric (keeps registrations). Tests and back-to-back bench
+  // runs use this to isolate measurements.
+  void reset();
+
+  // Renders a sorted human-readable dump of all non-zero metrics.
+  void print(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace a3cs::obs

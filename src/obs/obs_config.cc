@@ -1,0 +1,32 @@
+#include "obs/obs_config.h"
+
+#include <algorithm>
+
+#include "util/config.h"
+
+namespace a3cs::obs {
+
+ObsConfig ObsConfig::with_env_overrides() const {
+  ObsConfig out = *this;
+  const std::string path = util::env_string("A3CS_TRACE_PATH", "");
+  if (!path.empty()) {
+    out.trace_path = path;
+    out.trace_enabled = true;
+  }
+  out.trace_enabled =
+      util::env_int("A3CS_TRACE", out.trace_enabled ? 1 : 0) != 0;
+  if (out.trace_enabled && out.trace_path.empty()) {
+    out.trace_path = "a3cs_trace.jsonl";
+  }
+  out.trace_flush_every = static_cast<int>(std::max<std::int64_t>(
+      1, util::env_int("A3CS_TRACE_FLUSH_EVERY", out.trace_flush_every)));
+  out.trace_every = static_cast<int>(std::max<std::int64_t>(
+      1, util::env_int("A3CS_TRACE_EVERY", out.trace_every)));
+  out.profile_enabled =
+      util::env_int("A3CS_PROFILE", out.profile_enabled ? 1 : 0) != 0;
+  out.profile_summary =
+      util::env_int("A3CS_PROFILE_SUMMARY", out.profile_summary ? 1 : 0) != 0;
+  return out;
+}
+
+}  // namespace a3cs::obs

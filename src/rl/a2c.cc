@@ -1,5 +1,7 @@
 #include "rl/a2c.h"
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -29,6 +31,10 @@ LossCoefficients no_distill_coefficients() {
 UpdateStats a2c_update(nn::ActorCriticNet& net, const Rollout& rollout,
                        const A2cConfig& cfg, nn::Optimizer& opt,
                        nn::ActorCriticNet* teacher) {
+  A3CS_PROF_SCOPE("a2c-update");
+  static obs::Counter& updates =
+      obs::MetricsRegistry::global().counter("a2c.updates");
+  updates.inc();
   // Bootstrap values for the post-rollout states (V(s_L) per env). This
   // forward's caches are overwritten by the batch forward below, which is
   // fine: we only need the values.
@@ -108,7 +114,11 @@ void A2cTrainer::train(std::int64_t total_frames, Callback callback,
   std::int64_t next_callback = callback_every;
   while (collector_.frames() < total_frames) {
     opt_.set_learning_rate(schedule.at(collector_.frames()));
-    const Rollout rollout = collector_.collect(net_, cfg_.rollout_len);
+    Rollout rollout;
+    {
+      A3CS_PROF_SCOPE("a2c-rollout");
+      rollout = collector_.collect(net_, cfg_.rollout_len);
+    }
     last_update_ = a2c_update(net_, rollout, cfg_, opt_, teacher_);
     if (callback && callback_every > 0 &&
         collector_.frames() >= next_callback) {

@@ -1,21 +1,31 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace a3cs::util {
 namespace {
 
-LogLevel g_threshold = [] {
+std::atomic<LogLevel> g_threshold = [] {
   const char* env = std::getenv("A3CS_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
   if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
   return LogLevel::kInfo;
+}();
+
+const bool g_log_tid = [] {
+  const char* env = std::getenv("A3CS_LOG_TID");
+  return env != nullptr && std::strcmp(env, "0") != 0;
 }();
 
 std::mutex g_mutex;
@@ -32,20 +42,46 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+LogLevel log_threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  if (level_ < g_threshold.load(std::memory_order_relaxed)) return;
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << level_name(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[" << level_name(level) << " " << iso8601_now() << " ";
+  if (g_log_tid) stream_ << "t" << std::this_thread::get_id() << " ";
+  stream_ << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ < g_threshold) return;
+  if (level_ < g_threshold.load(std::memory_order_relaxed)) return;
+  // Single write per message (newline included) so concurrent log lines
+  // never interleave mid-line; the mutex orders whole lines.
+  const std::string line = stream_.str() + "\n";
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << stream_.str() << "\n";
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 namespace detail {

@@ -3,9 +3,16 @@
 // Usage:
 //   A3CS_LOG(INFO) << "trained " << steps << " steps";
 //
+// Lines carry an ISO-8601 wall-clock timestamp and (with A3CS_LOG_TID=1) the
+// originating thread id:
+//
+//   [I 2026-08-06T12:34:56.789 cosearch.cc:42] trained 640 steps
+//
 // The level threshold is taken from the A3CS_LOG_LEVEL environment variable
 // (DEBUG/INFO/WARN/ERROR, default INFO) so benches can be made quiet or
-// chatty without recompiling.
+// chatty without recompiling. The sink is thread-safe: each message is
+// formatted off-lock and emitted as a single write, so concurrent threads
+// never interleave within a line.
 #pragma once
 
 #include <sstream>
@@ -17,6 +24,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+// Current wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmm" (local time).
+std::string iso8601_now();
 
 class LogMessage {
  public:

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -188,6 +189,40 @@ TEST(Csv, RejectsWrongWidth) {
   EXPECT_THROW(csv.row({"only-one"}), std::runtime_error);
 }
 
+TEST(Csv, RowEscapesCommaCells) {
+  std::ostringstream oss;
+  util::CsvWriter csv(oss, {"name", "value"});
+  csv.row({"a,b,c", "1"});
+  EXPECT_EQ(oss.str(), "name,value\n\"a,b,c\",1\n");
+}
+
+TEST(Csv, RowEscapesQuoteCells) {
+  std::ostringstream oss;
+  util::CsvWriter csv(oss, {"name", "value"});
+  csv.row({"he said \"hi\"", "2"});
+  EXPECT_EQ(oss.str(), "name,value\n\"he said \"\"hi\"\"\",2\n");
+}
+
+TEST(Csv, RowEscapesNewlineCells) {
+  std::ostringstream oss;
+  util::CsvWriter csv(oss, {"name", "value"});
+  csv.row({"two\nlines", "3"});
+  EXPECT_EQ(oss.str(), "name,value\n\"two\nlines\",3\n");
+}
+
+TEST(Csv, HeaderCellsAreEscapedToo) {
+  std::ostringstream oss;
+  util::CsvWriter csv(oss, {"plain", "with,comma"});
+  EXPECT_EQ(oss.str(), "plain,\"with,comma\"\n");
+}
+
+TEST(Csv, MixedSpecialsInOneRow) {
+  std::ostringstream oss;
+  util::CsvWriter csv(oss, {"a", "b", "c"});
+  csv.row({"x,y", "q\"z", "n\nm"});
+  EXPECT_EQ(oss.str(), "a,b,c\n\"x,y\",\"q\"\"z\",\"n\nm\"\n");
+}
+
 // --------------------------------------------------------------- Table ----
 
 TEST(Table, AlignsColumns) {
@@ -252,6 +287,21 @@ TEST(Logging, CheckMacroThrowsWithMessage) {
 
 TEST(Logging, CheckMacroPassesSilently) {
   A3CS_CHECK(true, "fine");  // must not throw
+}
+
+TEST(Logging, Iso8601NowShape) {
+  const std::string ts = util::iso8601_now();
+  ASSERT_EQ(ts.size(), 23u);  // YYYY-MM-DDTHH:MM:SS.mmm
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u,
+                              15u, 17u, 18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(ts[i]))) << i;
+  }
 }
 
 }  // namespace
