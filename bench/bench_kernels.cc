@@ -1,0 +1,184 @@
+// Execution-layer microbenchmarks: GEMM (paper conv shapes + 256^3), im2col
+// and VecEnv::step at 1/2/4/8 threads, against the pre-threading naive i-k-j
+// GEMM as the seed baseline.
+//
+// Output: one CSV block (bench, config, threads, ms, throughput, speedup
+// vs. the 1-thread run of the same kernel) plus one JSONL line per
+// measurement (type "bench_kernel") for machine consumption. Numbers to
+// verify: blocked serial GEMM beats gemm_naive at every shape, and parallel
+// runs scale with the machine's cores while staying bit-exact (the
+// determinism_test suite checks exactness; this bench only times).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arcade/vec_env.h"
+#include "bench_common.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+using namespace a3cs;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// The seed's serial GEMM (i-k-j saxpy over C rows), kept verbatim as the
+// baseline the blocked kernel is measured against.
+void gemm_naive(const float* a, const float* b, float* c, int m, int k,
+                int n) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    std::fill(crow, crow + n, 0.0f);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a[static_cast<std::size_t>(i) * k + kk];
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Median-of-runs wall time of `fn`, adaptively repeated to fill ~0.15 s.
+double time_ms(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  std::vector<double> samples;
+  double total = 0.0;
+  while (total < 150.0 && samples.size() < 50) {
+    const auto t0 = clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    samples.push_back(ms);
+    total += ms;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed_value) {
+  util::Rng rng(seed_value);
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  return t;
+}
+
+struct Row {
+  std::string bench;
+  std::string config;
+  int threads;
+  double ms;
+  double throughput;  // GFLOP/s for gemm, Melem/s for im2col, steps/s for env
+  double speedup;     // vs the 1-thread row of the same (bench, config)
+};
+
+void emit(util::CsvWriter& csv, const Row& r) {
+  csv.row({r.bench, r.config, std::to_string(r.threads),
+           util::TextTable::num(r.ms), util::TextTable::num(r.throughput),
+           util::TextTable::num(r.speedup)});
+  std::ostringstream json;
+  json << "{\"type\":\"bench_kernel\",\"bench\":\"" << r.bench
+       << "\",\"config\":\"" << r.config << "\",\"threads\":" << r.threads
+       << ",\"ms\":" << r.ms << ",\"throughput\":" << r.throughput
+       << ",\"speedup\":" << r.speedup << "}";
+  std::cout << json.str() << "\n";
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+}  // namespace
+
+int main() {
+  bench::banner("kernels",
+                "GEMM / im2col / VecEnv::step timing across thread counts");
+  util::CsvWriter csv(std::cout, {"bench", "config", "threads", "ms",
+                                  "throughput", "speedup"});
+
+  // ------------------------------------------------------------- GEMM ----
+  struct GemmShape {
+    int m, k, n;
+  };
+  // 256^3 is the acceptance shape; the other two are the paper's conv
+  // layers lowered to GEMM (OC x C*KH*KW times C*KH*KW x N*OH*OW).
+  const std::vector<GemmShape> shapes = {
+      {256, 256, 256}, {64, 576, 2304}, {32, 288, 3136}};
+  for (const auto& s : shapes) {
+    const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
+    const Tensor b = random_tensor(Shape::mat(s.k, s.n), 2);
+    Tensor c(Shape::mat(s.m, s.n));
+    const double gflop = 2.0 * s.m * s.k * s.n * 1e-9;
+    std::ostringstream cfg;
+    cfg << s.m << "x" << s.k << "x" << s.n;
+
+    // Seed baseline: the naive serial kernel, reported as threads = 0.
+    const double naive_ms =
+        time_ms([&] { gemm_naive(a.data(), b.data(), c.data(), s.m, s.k, s.n); });
+    emit(csv, {"gemm_naive", cfg.str(), 0, naive_ms, gflop / (naive_ms * 1e-3),
+               1.0});
+
+    double serial_ms = 0.0;
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::set_global_threads(threads);
+      const double ms = time_ms([&] {
+        tensor::gemm_raw(a.data(), false, b.data(), false, c.data(), s.m, s.k,
+                         s.n);
+      });
+      if (threads == 1) serial_ms = ms;
+      emit(csv, {"gemm", cfg.str(), threads, ms, gflop / (ms * 1e-3),
+                 serial_ms / ms});
+    }
+    std::cout << "  blocked serial speedup vs seed kernel at " << cfg.str()
+              << ": " << util::TextTable::num(naive_ms / serial_ms) << "x\n";
+  }
+
+  // ----------------------------------------------------------- im2col ----
+  {
+    const Tensor x = random_tensor(Shape::nchw(16, 32, 28, 28), 3);
+    const auto g = tensor::ConvGeometry::make(x.shape(), 3, 3, 1, 1);
+    Tensor cols(Shape::mat(32 * 3 * 3, g.n * g.oh * g.ow));
+    const double melem = cols.numel() * 1e-6;
+    double serial_ms = 0.0;
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::set_global_threads(threads);
+      const double ms = time_ms([&] { tensor::im2col(x, g, cols); });
+      if (threads == 1) serial_ms = ms;
+      emit(csv, {"im2col", "16x32x28x28_k3", threads, ms, melem / (ms * 1e-3),
+                 serial_ms / ms});
+    }
+  }
+
+  // ------------------------------------------------------ VecEnv step ----
+  {
+    const int num_envs = 32, horizon = 64;
+    double serial_ms = 0.0;
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::set_global_threads(threads);
+      arcade::VecEnv envs("Catch", num_envs, 4242);
+      envs.reset();
+      util::Rng rng(7);
+      const double ms = time_ms([&] {
+        for (int t = 0; t < horizon; ++t) {
+          std::vector<int> actions(num_envs);
+          for (auto& a : actions) a = rng.uniform_int(envs.num_actions());
+          envs.step(actions);
+        }
+      });
+      if (threads == 1) serial_ms = ms;
+      emit(csv, {"vecenv_step", "Catch_32env", threads, ms,
+                 num_envs * horizon / (ms * 1e-3), serial_ms / ms});
+    }
+  }
+
+  util::ThreadPool::set_global_threads(1);
+  std::cout << "\nNote: parallel speedups require physical cores; on a "
+               "1-core host every thread count times the same work.\n";
+  return 0;
+}

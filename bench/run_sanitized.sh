@@ -1,26 +1,39 @@
 #!/usr/bin/env sh
-# Build the util + obs test binaries under ASan/UBSan (or another sanitizer)
-# and run them. The obs layer is the most concurrency-heavy part of the tree
-# (atomic metrics, the shared trace writer, the profiler's thread-local
-# cursors), so it gets sanitized coverage on every change.
+# Build a slice of the test binaries under a sanitizer and run them.
 #
 #   bench/run_sanitized.sh              # address+undefined (default)
 #   A3CS_SANITIZE=thread bench/run_sanitized.sh
+#
+# The default ASan/UBSan pass covers the util + obs layers (atomic metrics,
+# the shared trace writer, the profiler's thread-local cursors). The TSan
+# pass instead targets the parallel execution layer: the thread pool itself
+# plus every kernel and subsystem that dispatches onto it (GEMM/im2col,
+# VecEnv stepping, the top-K NAS backward), run with A3CS_THREADS=4 so the
+# pool actually fans out.
 set -eu
 
 SAN="${A3CS_SANITIZE:-address}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-san-$SAN"
 
+if [ "$SAN" = "thread" ]; then
+  TESTS="thread_pool_test tensor_test arcade_test determinism_test"
+  export A3CS_THREADS="${A3CS_THREADS:-4}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+else
+  TESTS="util_test obs_test thread_pool_test"
+fi
+
+# shellcheck disable=SC2086
 cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target util_test obs_test
+cmake --build "$BUILD" -j "$(nproc)" --target $TESTS
 
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
 status=0
-for t in util_test obs_test; do
-  echo "== $t ($SAN) =="
+for t in $TESTS; do
+  echo "== $t ($SAN${A3CS_THREADS:+, A3CS_THREADS=$A3CS_THREADS}) =="
   "$BUILD/tests/$t" || status=$?
 done
 exit "$status"

@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "arcade/games.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace a3cs::arcade {
 
@@ -30,42 +32,69 @@ void VecEnv::copy_into_batch(Tensor& batch, int slot, const Tensor& obs) {
               obs.data(), static_cast<std::size_t>(frame) * sizeof(float));
 }
 
-Tensor VecEnv::reset() {
+void VecEnv::ensure_buffers() {
+  if (buffers_ready_) return;
   const ObsSpec spec = obs_spec();
-  Tensor batch(tensor::Shape::nchw(num_envs(), spec.channels, spec.height,
-                                   spec.width));
-  for (int i = 0; i < num_envs(); ++i) {
-    copy_into_batch(batch, i, envs_[static_cast<std::size_t>(i)]->reset());
-  }
-  std::fill(running_returns_.begin(), running_returns_.end(), 0.0);
-  return batch;
+  step_.obs = Tensor(tensor::Shape::nchw(num_envs(), spec.channels,
+                                         spec.height, spec.width));
+  step_.rewards.assign(envs_.size(), 0.0);
+  step_.dones.assign(envs_.size(), 0);
+  finished_scores_.assign(envs_.size(), 0.0);
+  buffers_ready_ = true;
 }
 
-VecStep VecEnv::step(const std::vector<int>& actions) {
+const Tensor& VecEnv::reset() {
+  ensure_buffers();
+  util::parallel_for(
+      0, num_envs(), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (int i = static_cast<int>(b); i < static_cast<int>(e); ++i) {
+          copy_into_batch(step_.obs, i,
+                          envs_[static_cast<std::size_t>(i)]->reset());
+        }
+      },
+      "env-step");
+  std::fill(running_returns_.begin(), running_returns_.end(), 0.0);
+  return step_.obs;
+}
+
+const VecStep& VecEnv::step(const std::vector<int>& actions) {
   A3CS_CHECK(static_cast<int>(actions.size()) == num_envs(),
              "VecEnv::step action count mismatch");
-  const ObsSpec spec = obs_spec();
-  VecStep out;
-  out.obs = Tensor(tensor::Shape::nchw(num_envs(), spec.channels, spec.height,
-                                       spec.width));
-  out.rewards.resize(envs_.size());
-  out.dones.resize(envs_.size());
+  ensure_buffers();
+  static obs::Counter& steps =
+      obs::MetricsRegistry::global().counter("env.vec_steps");
+  steps.inc();
+  // Each env owns its slot of every per-env array, so shards are disjoint;
+  // the cross-env episode bookkeeping happens serially below, in env order,
+  // exactly as the serial loop produced it.
+  util::parallel_for(
+      0, num_envs(), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (int i = static_cast<int>(b); i < static_cast<int>(e); ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          auto& env = envs_[idx];
+          StepResult r = env->step(actions[idx]);
+          running_returns_[idx] += r.reward;
+          step_.rewards[idx] = r.reward;
+          step_.dones[idx] = r.done ? 1 : 0;
+          if (r.done) {
+            finished_scores_[idx] = running_returns_[idx];
+            running_returns_[idx] = 0.0;
+            copy_into_batch(step_.obs, i, env->reset());
+          } else {
+            copy_into_batch(step_.obs, i, r.obs);
+          }
+        }
+      },
+      "env-step");
   for (int i = 0; i < num_envs(); ++i) {
-    auto& env = envs_[static_cast<std::size_t>(i)];
-    StepResult r = env->step(actions[static_cast<std::size_t>(i)]);
-    running_returns_[static_cast<std::size_t>(i)] += r.reward;
-    out.rewards[static_cast<std::size_t>(i)] = r.reward;
-    out.dones[static_cast<std::size_t>(i)] = r.done;
-    if (r.done) {
-      episode_scores_.push_back(running_returns_[static_cast<std::size_t>(i)]);
-      running_returns_[static_cast<std::size_t>(i)] = 0.0;
+    if (step_.dones[static_cast<std::size_t>(i)] != 0) {
+      episode_scores_.push_back(finished_scores_[static_cast<std::size_t>(i)]);
       ++episodes_completed_;
-      copy_into_batch(out.obs, i, env->reset());
-    } else {
-      copy_into_batch(out.obs, i, r.obs);
     }
   }
-  return out;
+  return step_;
 }
 
 std::vector<double> VecEnv::drain_episode_scores() {

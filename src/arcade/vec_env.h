@@ -2,8 +2,17 @@
 // game in lockstep and batches their observations into one NCHW tensor, as
 // A2C-style training requires. Episodes auto-reset; finished-episode scores
 // are collected for the caller.
+//
+// step() and reset() dispatch contiguous shards of envs onto the global
+// util::ThreadPool. Each Env is an independent MDP with its own RNG stream
+// and each shard writes disjoint slots of the batch, so the parallel step is
+// race-free by construction and bit-exact at any A3CS_THREADS value; the
+// episode bookkeeping (scores, completion counts) is replayed serially in
+// env order afterwards. Observations land in a persistent internal batch —
+// step()/reset() return references into it, valid until the next call.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,9 +22,9 @@
 namespace a3cs::arcade {
 
 struct VecStep {
-  Tensor obs;                   // (N, C, H, W) next observations
-  std::vector<double> rewards;  // per-env reward this step
-  std::vector<bool> dones;      // episode ended this step (obs is post-reset)
+  Tensor obs;                          // (N, C, H, W) next observations
+  std::vector<double> rewards;         // per-env reward this step
+  std::vector<std::uint8_t> dones;     // episode ended (obs is post-reset)
 };
 
 class VecEnv {
@@ -26,8 +35,10 @@ class VecEnv {
   // Takes ownership of pre-built envs (must be non-empty, same spec).
   explicit VecEnv(std::vector<std::unique_ptr<Env>> envs);
 
-  Tensor reset();
-  VecStep step(const std::vector<int>& actions);
+  // Both return persistent internal buffers, overwritten by the next
+  // step()/reset() call on this VecEnv. Copy to retain.
+  const Tensor& reset();
+  const VecStep& step(const std::vector<int>& actions);
 
   int num_envs() const { return static_cast<int>(envs_.size()); }
   int num_actions() const { return envs_.front()->num_actions(); }
@@ -42,12 +53,20 @@ class VecEnv {
 
  private:
   static void copy_into_batch(Tensor& batch, int slot, const Tensor& obs);
+  void ensure_buffers();
 
   std::string title_;
   std::vector<std::unique_ptr<Env>> envs_;
   std::vector<double> episode_scores_;
   std::vector<double> running_returns_;
   std::int64_t episodes_completed_ = 0;
+
+  // Reused across calls: the step result (obs batch + rewards + dones) and
+  // the per-env scores captured inside the parallel region, committed to
+  // episode_scores_ serially in env order.
+  VecStep step_;
+  std::vector<double> finished_scores_;
+  bool buffers_ready_ = false;
 };
 
 }  // namespace a3cs::arcade

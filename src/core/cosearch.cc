@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "arcade/games.h"
+#include "obs/exec_stats.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -222,9 +223,14 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
                                    std::int64_t callback_every) {
   const obs::ObsConfig obs_cfg = cfg_.obs.with_env_overrides();
   if (obs_cfg.profile_enabled) obs::Profiler::set_enabled(true);
+  const util::ExecConfig exec_cfg = cfg_.exec.with_env_overrides();
+  util::ThreadPool::set_global_threads(exec_cfg.resolved_threads());
+  obs::MetricsRegistry::global().gauge("exec.threads")
+      .set(util::ThreadPool::global().threads());
   obs::TraceSession trace_session(obs_cfg);
   obs::trace_event("cosearch_start")
       .kv("game", game_title_)
+      .kv("threads", util::ThreadPool::global().threads())
       .kv("total_frames", total_frames)
       .kv("num_cells", supernet_->num_cells())
       .kv("hardware_aware", cfg_.hardware_aware)
@@ -297,6 +303,7 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
     result.hw_eval = predictor_.evaluate(final_specs, result.accelerator);
   }
 
+  obs::record_exec_stats();
   obs::trace_event("cosearch_end")
       .kv("iters", iter)
       .kv("frames", result.frames)

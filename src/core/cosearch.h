@@ -26,6 +26,7 @@
 #include "nn/actor_critic.h"
 #include "obs/obs_config.h"
 #include "rl/a2c.h"
+#include "util/thread_pool.h"
 
 namespace a3cs::core {
 
@@ -51,6 +52,11 @@ struct CoSearchConfig {
   // Observability: JSONL run tracing + hierarchical profiling. Environment
   // variables (A3CS_TRACE_PATH, A3CS_PROFILE, ...) override these at run().
   obs::ObsConfig obs;
+  // Execution: thread count of the global pool used by the kernels, the
+  // vectorized envs, the top-K NAS backward and the DAS sweeps. A3CS_THREADS
+  // overrides at run(); results are bit-exact at any value (see
+  // docs/PERFORMANCE.md).
+  util::ExecConfig exec;
 };
 
 // Everything one co-search iteration produced, for tracing/diagnostics.

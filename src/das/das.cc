@@ -7,8 +7,50 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace a3cs::das {
+
+namespace {
+
+// One drawn-but-not-yet-evaluated accelerator sample. Sampling consumes the
+// engine RNG and must stay serial (and in the exact order the serial code
+// used); the predictor evaluations are pure functions of the choices and fan
+// out over the pool; the gradient/incumbent bookkeeping is replayed serially
+// in draw order so baselines and incumbents are bit-exact at any thread
+// count.
+struct DrawnSample {
+  bool explore = false;
+  std::vector<nas::GumbelSample> gumbel;  // empty for explore draws
+  std::vector<int> choices;
+};
+
+struct EvaluatedSample {
+  accel::AcceleratorConfig config;
+  accel::HwEval eval;
+  double cost = 0.0;
+};
+
+void evaluate_batch(const AcceleratorSpace& space, const Predictor& predictor,
+                    const std::vector<nn::LayerSpec>& specs,
+                    const std::vector<DrawnSample>& drawn,
+                    std::vector<EvaluatedSample>& out) {
+  out.resize(drawn.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(drawn.size()), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          EvaluatedSample& dst = out[static_cast<std::size_t>(i)];
+          dst.config =
+              space.decode(drawn[static_cast<std::size_t>(i)].choices);
+          dst.eval = predictor.evaluate(specs, dst.config);
+          dst.cost = predictor.scalar_cost(dst.eval);
+        }
+      },
+      "das-eval");
+}
+
+}  // namespace
 
 DasEngine::DasEngine(const AcceleratorSpace& space, const Predictor& predictor,
                      DasConfig cfg)
@@ -37,49 +79,52 @@ double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
   params.reserve(phis_.size());
   for (auto& phi : phis_) params.push_back(&phi.param());
 
+  std::vector<DrawnSample> drawn;
+  std::vector<EvaluatedSample> evaluated;
   for (int it = 0; it < n; ++it) {
     const int samples_per_iter = std::max(1, cfg_.samples_per_iter);
+    // Phase 1 (serial): draw every sample of this iteration, consuming the
+    // RNG in exactly the order the all-serial loop did.
+    drawn.clear();
     for (int s = 0; s < samples_per_iter; ++s) {
+      DrawnSample d;
       // Exploration sample: uniform over the space, incumbent-only (it is
       // off-policy, so it must not feed the relaxed-gradient estimator).
       if (rng_.uniform() < cfg_.explore_eps) {
-        const auto uniform_choices = space_.random_choices(rng_);
-        const AcceleratorConfig config = space_.decode(uniform_choices);
-        const HwEval eval = predictor_.evaluate(specs, config);
-        const double cost = predictor_.scalar_cost(eval);
-        if (!has_best_seen_ || (eval.feasible && !best_seen_eval_.feasible) ||
-            (eval.feasible == best_seen_eval_.feasible &&
-             cost < best_seen_cost_)) {
-          has_best_seen_ = true;
-          best_seen_config_ = config;
-          best_seen_eval_ = eval;
-          best_seen_cost_ = cost;
+        d.explore = true;
+        d.choices = space_.random_choices(rng_);
+      } else {
+        // Hard-sample every knob to build one concrete accelerator.
+        d.gumbel.reserve(phis_.size());
+        d.choices.reserve(phis_.size());
+        for (auto& phi : phis_) {
+          d.gumbel.push_back(phi.sample(rng_, tau_));
+          d.choices.push_back(d.gumbel.back().index);
         }
-        continue;
       }
-      // Hard-sample every knob to build one concrete accelerator.
-      std::vector<nas::GumbelSample> samples;
-      std::vector<int> choices;
-      samples.reserve(phis_.size());
-      choices.reserve(phis_.size());
-      for (auto& phi : phis_) {
-        samples.push_back(phi.sample(rng_, tau_));
-        choices.push_back(samples.back().index);
-      }
-      const AcceleratorConfig config = space_.decode(choices);
-      const HwEval eval = predictor_.evaluate(specs, config);
-      const double cost = predictor_.scalar_cost(eval);
-      last_cost = cost;
-      if (!has_best_seen_ || (eval.feasible && !best_seen_eval_.feasible) ||
-          (eval.feasible == best_seen_eval_.feasible &&
-           cost < best_seen_cost_)) {
-        has_best_seen_ = true;
-        best_seen_config_ = config;
-        best_seen_eval_ = eval;
-        best_seen_cost_ = cost;
-      }
+      drawn.push_back(std::move(d));
+    }
 
-      double signal = cfg_.log_cost ? std::log(cost + 1e-9) : cost;
+    // Phase 2 (parallel): evaluate the predictor on every drawn config.
+    evaluate_batch(space_, predictor_, specs, drawn, evaluated);
+
+    // Phase 3 (serial, in draw order): incumbent, baseline and gradients.
+    for (int s = 0; s < samples_per_iter; ++s) {
+      const DrawnSample& d = drawn[static_cast<std::size_t>(s)];
+      const EvaluatedSample& ev = evaluated[static_cast<std::size_t>(s)];
+      if (!has_best_seen_ ||
+          (ev.eval.feasible && !best_seen_eval_.feasible) ||
+          (ev.eval.feasible == best_seen_eval_.feasible &&
+           ev.cost < best_seen_cost_)) {
+        has_best_seen_ = true;
+        best_seen_config_ = ev.config;
+        best_seen_eval_ = ev.eval;
+        best_seen_cost_ = ev.cost;
+      }
+      if (d.explore) continue;
+      last_cost = ev.cost;
+
+      double signal = cfg_.log_cost ? std::log(ev.cost + 1e-9) : ev.cost;
       if (cfg_.use_baseline) {
         if (!baseline_init_) {
           baseline_ = signal;
@@ -97,9 +142,9 @@ double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
       for (std::size_t m = 0; m < phis_.size(); ++m) {
         std::vector<float> sens(
             static_cast<std::size_t>(phis_[m].num_choices()), 0.0f);
-        sens[static_cast<std::size_t>(samples[m].index)] =
+        sens[static_cast<std::size_t>(d.gumbel[m].index)] =
             static_cast<float>(signal);
-        phis_[m].accumulate_grad(samples[m], sens, tau_);
+        phis_[m].accumulate_grad(d.gumbel[m], sens, tau_);
       }
     }
     opt_.step(params);
@@ -165,18 +210,29 @@ DasResult random_search(const AcceleratorSpace& space,
   DasResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
   bool have_best = false;
-  for (int i = 0; i < samples; ++i) {
-    const auto choices = space.random_choices(rng);
-    const AcceleratorConfig config = space.decode(choices);
-    const HwEval eval = predictor.evaluate(specs, config);
-    const double cost = predictor.scalar_cost(eval);
-    result.cost_curve.push_back(cost);
-    if (!have_best || (eval.feasible && !result.eval.feasible) ||
-        (eval.feasible == result.eval.feasible && cost < result.best_cost)) {
-      have_best = true;
-      result.config = config;
-      result.eval = eval;
-      result.best_cost = cost;
+  // Draw serially (fixed RNG order), evaluate in parallel blocks, reduce
+  // serially in draw order — identical results at any thread count.
+  constexpr int kBlock = 256;
+  std::vector<DrawnSample> drawn;
+  std::vector<EvaluatedSample> evaluated;
+  for (int i0 = 0; i0 < samples; i0 += kBlock) {
+    const int count = std::min(kBlock, samples - i0);
+    drawn.assign(static_cast<std::size_t>(count), DrawnSample{});
+    for (int i = 0; i < count; ++i) {
+      drawn[static_cast<std::size_t>(i)].choices = space.random_choices(rng);
+    }
+    evaluate_batch(space, predictor, specs, drawn, evaluated);
+    for (int i = 0; i < count; ++i) {
+      const EvaluatedSample& ev = evaluated[static_cast<std::size_t>(i)];
+      result.cost_curve.push_back(ev.cost);
+      if (!have_best || (ev.eval.feasible && !result.eval.feasible) ||
+          (ev.eval.feasible == result.eval.feasible &&
+           ev.cost < result.best_cost)) {
+        have_best = true;
+        result.config = ev.config;
+        result.eval = ev.eval;
+        result.best_cost = ev.cost;
+      }
     }
   }
   return result;
@@ -192,27 +248,40 @@ DasResult exhaustive_search(const AcceleratorSpace& space,
   result.best_cost = std::numeric_limits<double>::infinity();
   bool have_best = false;
   std::vector<int> choices(static_cast<std::size_t>(space.num_knobs()), 0);
-  while (true) {
-    const AcceleratorConfig config = space.decode(choices);
-    const HwEval eval = predictor.evaluate(specs, config);
-    const double cost = predictor.scalar_cost(eval);
-    if (!have_best || (eval.feasible && !result.eval.feasible) ||
-        (eval.feasible == result.eval.feasible && cost < result.best_cost)) {
-      have_best = true;
-      result.config = config;
-      result.eval = eval;
-      result.best_cost = cost;
-    }
-    // Odometer increment.
-    int k = 0;
-    for (; k < space.num_knobs(); ++k) {
-      if (++choices[static_cast<std::size_t>(k)] <
-          space.knobs()[static_cast<std::size_t>(k)].num_choices) {
-        break;
+  // Enumerate the odometer serially into fixed-size blocks, evaluate each
+  // block in parallel, reduce serially in enumeration order.
+  constexpr int kBlock = 512;
+  std::vector<DrawnSample> drawn;
+  std::vector<EvaluatedSample> evaluated;
+  bool exhausted = false;
+  while (!exhausted) {
+    drawn.clear();
+    while (static_cast<int>(drawn.size()) < kBlock && !exhausted) {
+      DrawnSample d;
+      d.choices = choices;
+      drawn.push_back(std::move(d));
+      // Odometer increment.
+      int k = 0;
+      for (; k < space.num_knobs(); ++k) {
+        if (++choices[static_cast<std::size_t>(k)] <
+            space.knobs()[static_cast<std::size_t>(k)].num_choices) {
+          break;
+        }
+        choices[static_cast<std::size_t>(k)] = 0;
       }
-      choices[static_cast<std::size_t>(k)] = 0;
+      if (k == space.num_knobs()) exhausted = true;
     }
-    if (k == space.num_knobs()) break;
+    evaluate_batch(space, predictor, specs, drawn, evaluated);
+    for (const EvaluatedSample& ev : evaluated) {
+      if (!have_best || (ev.eval.feasible && !result.eval.feasible) ||
+          (ev.eval.feasible == result.eval.feasible &&
+           ev.cost < result.best_cost)) {
+        have_best = true;
+        result.config = ev.config;
+        result.eval = ev.eval;
+        result.best_cost = ev.cost;
+      }
+    }
   }
   return result;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace a3cs::nas {
 
@@ -27,6 +29,8 @@ MixedOp::MixedOp(std::string name, int in_c, int out_c, int stride,
     ops_.push_back(make_candidate(
         i, name_ + ".op" + std::to_string(i), in_c, out_c, stride, rng));
   }
+  order_.resize(static_cast<std::size_t>(n));
+  sens_.resize(static_cast<std::size_t>(n));
 }
 
 nn::Tensor MixedOp::forward(const nn::Tensor& x) {
@@ -51,28 +55,40 @@ nn::Tensor MixedOp::backward(const nn::Tensor& grad_out) {
   // --- alpha gradient via the relaxed top-K paths (Eq. 7) ---------------
   if (!argmax_mode_) {
     const int n = num_candidates();
-    std::vector<int> order(static_cast<std::size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    std::partial_sort(order.begin(),
-                      order.begin() + std::min(backward_paths_, n),
-                      order.end(), [&](int a, int b) {
+    std::iota(order_.begin(), order_.end(), 0);
+    const int paths = std::min(backward_paths_, n);
+    std::partial_sort(order_.begin(), order_.begin() + paths, order_.end(),
+                      [&](int a, int b) {
                         return last_sample_.relaxed[static_cast<std::size_t>(
                                    a)] >
                                last_sample_.relaxed[static_cast<std::size_t>(
                                    b)];
                       });
-    std::vector<float> sens(static_cast<std::size_t>(n), 0.0f);
-    for (int r = 0; r < std::min(backward_paths_, n); ++r) {
-      const int k = order[static_cast<std::size_t>(r)];
-      // <dL/dOut, O_k(x)>: reuse the cached output for the activated path;
-      // evaluate a fresh forward (no backward) for the others.
-      const nn::Tensor& out_k =
-          (k == last_sample_.index)
-              ? cached_output_
-              : ops_[static_cast<std::size_t>(k)]->forward(cached_input_);
-      sens[static_cast<std::size_t>(k)] = grad_out.dot(out_k);
-    }
-    alpha_.accumulate_grad(last_sample_, sens, *tau_);
+    std::fill(sens_.begin(), sens_.end(), 0.0f);
+    static obs::Counter& extra_fwd = obs::MetricsRegistry::global().counter(
+        "nas.backward_extra_forwards");
+    extra_fwd.inc(paths - 1);
+    // The K sensitivity paths are independent: each candidate is a distinct
+    // module evaluated read-only against the cached input, and each writes
+    // only its own sens_ slot, so the fan-out is race-free and the serial
+    // accumulate_grad below sees thread-count-independent values.
+    util::parallel_for(
+        0, paths, 1,
+        [&](std::int64_t r0, std::int64_t r1) {
+          for (int r = static_cast<int>(r0); r < static_cast<int>(r1); ++r) {
+            const int k = order_[static_cast<std::size_t>(r)];
+            // <dL/dOut, O_k(x)>: reuse the cached output for the activated
+            // path; evaluate a fresh forward (no backward) for the others.
+            const nn::Tensor& out_k =
+                (k == last_sample_.index)
+                    ? cached_output_
+                    : ops_[static_cast<std::size_t>(k)]->forward(
+                          cached_input_);
+            sens_[static_cast<std::size_t>(k)] = grad_out.dot(out_k);
+          }
+        },
+        "nas-topk");
+    alpha_.accumulate_grad(last_sample_, sens_, *tau_);
   }
 
   // --- weight/input gradient through the single activated path ----------

@@ -62,6 +62,12 @@ class MixedOp : public nn::Module {
   nn::Tensor cached_input_;
   nn::Tensor cached_output_;
   bool has_cache_ = false;
+
+  // Backward scratch, sized once at construction instead of per step: the
+  // top-K candidate ranking and the per-candidate sensitivity inner products
+  // <dL/dOut, O_k(x)> (Eq. 7), each slot written by exactly one pool task.
+  std::vector<int> order_;
+  std::vector<float> sens_;
 };
 
 }  // namespace a3cs::nas

@@ -4,6 +4,7 @@
 
 #include "nn/init.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace a3cs::nn {
 
@@ -40,30 +41,39 @@ Tensor Conv2d::forward(const Tensor& x) {
 
   Tensor out(Shape::nchw(geom_.n, out_c_, geom_.oh, geom_.ow));
   const int batch_cols = geom_.n * cols_per_sample;
-  for (int n = 0; n < geom_.n; ++n) {
-    // out_slice(OC x ohw) = W(OC x ckk) @ cols_slice(ckk x ohw)
-    // cols_slice starts at column n*ohw of the (ckk x N*ohw) matrix, so we
-    // cannot use a contiguous pointer; instead run GEMM row by row.
-    float* out_slice =
-        out.data() + static_cast<std::size_t>(n) * out_c_ * cols_per_sample;
-    for (int oc = 0; oc < out_c_; ++oc) {
-      float* orow = out_slice + static_cast<std::size_t>(oc) * cols_per_sample;
-      std::fill(orow, orow + cols_per_sample, bias_.value[oc]);
-    }
-    for (int oc = 0; oc < out_c_; ++oc) {
-      const float* wrow =
-          weight_.value.data() + static_cast<std::size_t>(oc) * ckk;
-      float* orow = out_slice + static_cast<std::size_t>(oc) * cols_per_sample;
-      for (int kk = 0; kk < ckk; ++kk) {
-        const float wv = wrow[kk];
-        if (wv == 0.0f) continue;
-        const float* crow = cached_cols_.data() +
-                            static_cast<std::size_t>(kk) * batch_cols +
-                            static_cast<std::size_t>(n) * cols_per_sample;
-        for (int j = 0; j < cols_per_sample; ++j) orow[j] += wv * crow[j];
-      }
-    }
-  }
+  // out_slice(OC x ohw) = W(OC x ckk) @ cols_slice(ckk x ohw) per sample.
+  // cols_slice starts at column n*ohw of the (ckk x N*ohw) matrix, so we
+  // cannot hand the whole batch to one GEMM; instead each (sample, out
+  // channel) row is an independent unit of work — disjoint output rows, so
+  // the fan-out over the pool is race-free and bit-exact at any thread count.
+  const std::int64_t total = static_cast<std::int64_t>(geom_.n) * out_c_;
+  const std::int64_t row_work =
+      static_cast<std::int64_t>(ckk) * cols_per_sample;
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 65536 / std::max<std::int64_t>(1, row_work));
+  util::parallel_for(
+      0, total, grain,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const int n = static_cast<int>(t / out_c_);
+          const int oc = static_cast<int>(t % out_c_);
+          float* orow = out.data() +
+                        (static_cast<std::size_t>(n) * out_c_ + oc) *
+                            cols_per_sample;
+          std::fill(orow, orow + cols_per_sample, bias_.value[oc]);
+          const float* wrow =
+              weight_.value.data() + static_cast<std::size_t>(oc) * ckk;
+          for (int kk = 0; kk < ckk; ++kk) {
+            const float wv = wrow[kk];
+            if (wv == 0.0f) continue;
+            const float* crow = cached_cols_.data() +
+                                static_cast<std::size_t>(kk) * batch_cols +
+                                static_cast<std::size_t>(n) * cols_per_sample;
+            for (int j = 0; j < cols_per_sample; ++j) orow[j] += wv * crow[j];
+          }
+        }
+      },
+      "conv-fwd");
   return out;
 }
 
@@ -76,49 +86,63 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int ohw = geom_.oh * geom_.ow;
   const int batch_cols = geom_.n * ohw;
 
-  // Bias gradient: sum over batch and spatial positions.
-  for (int n = 0; n < geom_.n; ++n) {
-    for (int oc = 0; oc < out_c_; ++oc) {
-      const float* grow = grad_out.data() +
-                          (static_cast<std::size_t>(n) * out_c_ + oc) * ohw;
-      double acc = 0.0;
-      for (int j = 0; j < ohw; ++j) acc += grow[j];
-      bias_.grad[oc] += static_cast<float>(acc);
-    }
-  }
+  // Bias and weight gradients, fanned out over output channels: each oc owns
+  // bias_.grad[oc] and its weight row, so shards write disjoint accumulators.
+  // The batch loop stays innermost and ascending, matching the serial
+  // accumulation order bit for bit.
+  util::parallel_for(
+      0, out_c_, 4,
+      [&](std::int64_t oc0, std::int64_t oc1) {
+        for (int oc = static_cast<int>(oc0); oc < static_cast<int>(oc1);
+             ++oc) {
+          float* wrow =
+              weight_.grad.data() + static_cast<std::size_t>(oc) * ckk;
+          for (int n = 0; n < geom_.n; ++n) {
+            const float* grow =
+                grad_out.data() +
+                (static_cast<std::size_t>(n) * out_c_ + oc) * ohw;
+            double acc = 0.0;
+            for (int j = 0; j < ohw; ++j) acc += grow[j];
+            bias_.grad[oc] += static_cast<float>(acc);
+            // grad_W(OC x ckk) += g(OC x ohw) @ cols_slice^T(ohw x ckk)
+            for (int kk = 0; kk < ckk; ++kk) {
+              const float* crow = cached_cols_.data() +
+                                  static_cast<std::size_t>(kk) * batch_cols +
+                                  static_cast<std::size_t>(n) * ohw;
+              double wacc = 0.0;
+              for (int j = 0; j < ohw; ++j) wacc += grow[j] * crow[j];
+              wrow[kk] += static_cast<float>(wacc);
+            }
+          }
+        }
+      },
+      "conv-bwd");
 
-  // Weight gradient and column gradient per sample.
+  // Column gradient, fanned out over samples (disjoint column slices).
   Tensor grad_cols(Shape::mat(ckk, batch_cols));
-  for (int n = 0; n < geom_.n; ++n) {
-    const float* g_slice =
-        grad_out.data() + static_cast<std::size_t>(n) * out_c_ * ohw;
-    // grad_W(OC x ckk) += g(OC x ohw) @ cols_slice^T(ohw x ckk)
-    for (int oc = 0; oc < out_c_; ++oc) {
-      const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
-      float* wrow = weight_.grad.data() + static_cast<std::size_t>(oc) * ckk;
-      for (int kk = 0; kk < ckk; ++kk) {
-        const float* crow = cached_cols_.data() +
-                            static_cast<std::size_t>(kk) * batch_cols +
-                            static_cast<std::size_t>(n) * ohw;
-        double acc = 0.0;
-        for (int j = 0; j < ohw; ++j) acc += grow[j] * crow[j];
-        wrow[kk] += static_cast<float>(acc);
-      }
-    }
-    // grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw)
-    for (int kk = 0; kk < ckk; ++kk) {
-      float* gc = grad_cols.data() + static_cast<std::size_t>(kk) * batch_cols +
-                  static_cast<std::size_t>(n) * ohw;
-      std::fill(gc, gc + ohw, 0.0f);
-      for (int oc = 0; oc < out_c_; ++oc) {
-        const float wv =
-            weight_.value.data()[static_cast<std::size_t>(oc) * ckk + kk];
-        if (wv == 0.0f) continue;
-        const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
-        for (int j = 0; j < ohw; ++j) gc[j] += wv * grow[j];
-      }
-    }
-  }
+  util::parallel_for(
+      0, geom_.n, 1,
+      [&](std::int64_t n0, std::int64_t n1) {
+        for (int n = static_cast<int>(n0); n < static_cast<int>(n1); ++n) {
+          const float* g_slice =
+              grad_out.data() + static_cast<std::size_t>(n) * out_c_ * ohw;
+          // grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw)
+          for (int kk = 0; kk < ckk; ++kk) {
+            float* gc = grad_cols.data() +
+                        static_cast<std::size_t>(kk) * batch_cols +
+                        static_cast<std::size_t>(n) * ohw;
+            std::fill(gc, gc + ohw, 0.0f);
+            for (int oc = 0; oc < out_c_; ++oc) {
+              const float wv =
+                  weight_.value.data()[static_cast<std::size_t>(oc) * ckk + kk];
+              if (wv == 0.0f) continue;
+              const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
+              for (int j = 0; j < ohw; ++j) gc[j] += wv * grow[j];
+            }
+          }
+        }
+      },
+      "conv-bwd");
 
   Tensor grad_input(Shape::nchw(geom_.n, in_c_, geom_.h, geom_.w));
   tensor::col2im(grad_cols, geom_, grad_input);

@@ -1,0 +1,39 @@
+#include "obs/exec_stats.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace a3cs::obs {
+
+void record_exec_stats(const util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::global();
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("exec.threads").set(pool->threads());
+  reg.gauge("pool.tasks_executed")
+      .set(static_cast<double>(pool->tasks_executed()));
+  reg.gauge("pool.regions_parallel")
+      .set(static_cast<double>(pool->regions_parallel()));
+  reg.gauge("pool.regions_inline")
+      .set(static_cast<double>(pool->regions_inline()));
+  for (const auto& stat : pool->label_stats()) {
+    reg.gauge(std::string("pool.tasks.") + stat.label)
+        .set(static_cast<double>(stat.tasks));
+    reg.gauge(std::string("pool.regions.") + stat.label)
+        .set(static_cast<double>(stat.regions));
+  }
+  if (trace_active()) {
+    auto ev = trace_event("exec");
+    ev.kv("threads", pool->threads())
+        .kv("tasks_executed", pool->tasks_executed())
+        .kv("regions_parallel", pool->regions_parallel())
+        .kv("regions_inline", pool->regions_inline());
+    for (const auto& stat : pool->label_stats()) {
+      ev.kv(std::string("tasks_") + stat.label, stat.tasks);
+    }
+  }
+}
+
+}  // namespace a3cs::obs

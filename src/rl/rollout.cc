@@ -51,7 +51,7 @@ Rollout RolloutCollector::collect(ActorCriticNet& net, int length) {
     out.obs.push_back(current_obs_);
     const auto ac = net.forward(current_obs_);
     auto actions = sample_actions(ac.logits, rng_);
-    auto step = envs_.step(actions);
+    const auto& step = envs_.step(actions);
     out.actions.push_back(std::move(actions));
     out.rewards.push_back(step.rewards);
     std::vector<bool> dones(step.dones.begin(), step.dones.end());

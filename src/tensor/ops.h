@@ -1,5 +1,12 @@
 // Free-function kernels on Tensors: GEMM, im2col/col2im, row softmax.
 // These are the computational primitives the nn modules are built from.
+//
+// GEMM, im2col and col2im execute on the global util::ThreadPool with fixed
+// contiguous sharding (row panels / column rows / channels respectively), so
+// their results are bit-exact for every A3CS_THREADS value: each output
+// element is produced by exactly one shard and its reduction order (kk
+// ascending in GEMM, column-row ascending in col2im) never depends on the
+// thread count. See docs/PERFORMANCE.md.
 #pragma once
 
 #include "tensor/tensor.h"
