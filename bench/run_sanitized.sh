@@ -5,11 +5,13 @@
 #   A3CS_SANITIZE=thread bench/run_sanitized.sh
 #
 # The default ASan/UBSan pass covers the util + obs layers (atomic metrics,
-# the shared trace writer, the profiler's thread-local cursors). The TSan
-# pass instead targets the parallel execution layer: the thread pool itself
-# plus every kernel and subsystem that dispatches onto it (GEMM/im2col,
-# VecEnv stepping, the top-K NAS backward), run with A3CS_THREADS=4 so the
-# pool actually fans out.
+# the shared trace writer, the profiler's thread-local cursors) plus the
+# checkpoint subsystem (sectioned container parsing of adversarial bytes,
+# the full save/restore round-trip). The TSan pass instead targets the
+# parallel execution layer: the thread pool itself plus every kernel and
+# subsystem that dispatches onto it (GEMM/im2col, VecEnv stepping, the
+# top-K NAS backward), run with A3CS_THREADS=4 so the pool actually fans
+# out.
 set -eu
 
 SAN="${A3CS_SANITIZE:-address}"
@@ -21,7 +23,7 @@ if [ "$SAN" = "thread" ]; then
   export A3CS_THREADS="${A3CS_THREADS:-4}"
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
-  TESTS="util_test obs_test thread_pool_test"
+  TESTS="util_test obs_test thread_pool_test ckpt_test io_test"
 fi
 
 # shellcheck disable=SC2086

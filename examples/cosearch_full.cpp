@@ -2,7 +2,12 @@
 // the derived agent with AC-distillation, search the deployment accelerator
 // with DAS, and report (test score, FPS) against the FA3C-style baseline.
 //
-//   ./examples/cosearch_full [game]
+//   ./examples/cosearch_full [game] [--ckpt-dir <dir>] [--resume <dir>]
+//
+// --ckpt-dir enables periodic + signal-triggered checkpointing of the
+// co-search phase into <dir>; --resume additionally restores the newest
+// valid checkpoint there before searching (see docs/CHECKPOINTING.md).
+// A3CS_CKPT_* environment variables override both.
 #include <iostream>
 #include <string>
 
@@ -14,7 +19,24 @@
 using namespace a3cs;
 
 int main(int argc, char** argv) {
-  const std::string game = argc > 1 ? argv[1] : "Pong";
+  std::string game = "Pong";
+  ckpt::CkptConfig ckpt_cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ckpt-dir" && i + 1 < argc) {
+      ckpt_cfg.dir = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      ckpt_cfg.dir = argv[++i];
+      ckpt_cfg.resume = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n"
+                << "usage: cosearch_full [game] [--ckpt-dir <dir>] "
+                << "[--resume <dir>]\n";
+      return 2;
+    } else {
+      game = arg;
+    }
+  }
 
   rl::TeacherConfig teacher_cfg;
   teacher_cfg.train_frames = util::scaled_steps(20000);
@@ -26,6 +48,7 @@ int main(int argc, char** argv) {
   cfg.search_frames = util::scaled_steps(15000);
   cfg.train_frames = util::scaled_steps(15000);
   cfg.final_das.iterations = 400;
+  cfg.cosearch.ckpt = ckpt_cfg;
 
   std::cout << "running the full A3C-S pipeline on " << game << "...\n";
   const auto result = run_a3cs_pipeline(game, cfg, teacher.get());

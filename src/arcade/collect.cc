@@ -206,4 +206,46 @@ void CollectGame::draw(Tensor& frame) const {
   }
 }
 
+void CollectGame::save_game(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_i32(out, px_);
+  sio::put_i32(out, py_);
+  sio::put_i32(out, lives_left_);
+  sio::put_i32(out, oxygen_);
+  sio::put_i32(out, best_row_);
+  sio::put_u32(out, static_cast<std::uint32_t>(items_.size()));
+  for (const Point& p : items_) {
+    sio::put_i32(out, p.y);
+    sio::put_i32(out, p.x);
+  }
+  sio::put_u32(out, static_cast<std::uint32_t>(enemies_.size()));
+  for (const Point& p : enemies_) {
+    sio::put_i32(out, p.y);
+    sio::put_i32(out, p.x);
+  }
+  sio::put_bool_vec(out, walls_);
+  sio::put_bool_vec(out, painted_);
+}
+
+void CollectGame::load_game(std::istream& in) {
+  namespace sio = util::sio;
+  px_ = sio::get_i32(in);
+  py_ = sio::get_i32(in);
+  lives_left_ = sio::get_i32(in);
+  oxygen_ = sio::get_i32(in);
+  best_row_ = sio::get_i32(in);
+  items_.resize(sio::get_u32(in));
+  for (Point& p : items_) {
+    p.y = sio::get_i32(in);
+    p.x = sio::get_i32(in);
+  }
+  enemies_.resize(sio::get_u32(in));
+  for (Point& p : enemies_) {
+    p.y = sio::get_i32(in);
+    p.x = sio::get_i32(in);
+  }
+  walls_ = sio::get_bool_vec(in);
+  painted_ = sio::get_bool_vec(in);
+}
+
 }  // namespace a3cs::arcade

@@ -146,4 +146,40 @@ void DuelGame::draw(Tensor& frame) const {
   for (const Shot& s : shots_) put(frame, 2, s.y, s.x, s.mine ? 1.0f : 0.5f);
 }
 
+void DuelGame::save_game(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_i32(out, px_);
+  sio::put_i32(out, py_);
+  sio::put_i32(out, ox_);
+  sio::put_i32(out, oy_);
+  sio::put_i32(out, player_hits_);
+  sio::put_i32(out, opp_cooldown_);
+  sio::put_u32(out, static_cast<std::uint32_t>(shots_.size()));
+  for (const Shot& s : shots_) {
+    sio::put_i32(out, s.y);
+    sio::put_i32(out, s.x);
+    sio::put_i32(out, s.dy);
+    sio::put_i32(out, s.dx);
+    sio::put_bool(out, s.mine);
+  }
+}
+
+void DuelGame::load_game(std::istream& in) {
+  namespace sio = util::sio;
+  px_ = sio::get_i32(in);
+  py_ = sio::get_i32(in);
+  ox_ = sio::get_i32(in);
+  oy_ = sio::get_i32(in);
+  player_hits_ = sio::get_i32(in);
+  opp_cooldown_ = sio::get_i32(in);
+  shots_.resize(sio::get_u32(in));
+  for (Shot& s : shots_) {
+    s.y = sio::get_i32(in);
+    s.x = sio::get_i32(in);
+    s.dy = sio::get_i32(in);
+    s.dx = sio::get_i32(in);
+    s.mine = sio::get_bool(in);
+  }
+}
+
 }  // namespace a3cs::arcade

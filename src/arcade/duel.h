@@ -38,6 +38,8 @@ class DuelGame : public GridGame {
   void on_reset() override;
   double on_step(int action) override;
   void draw(Tensor& frame) const override;
+  void save_game(std::ostream& out) const override;
+  void load_game(std::istream& in) override;
 
  private:
   struct Shot { int y, x, dy, dx; bool mine; };

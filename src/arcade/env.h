@@ -10,7 +10,9 @@
 // backbone plays all Atari titles in the paper.
 #pragma once
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "nn/obs_spec.h"
@@ -49,6 +51,13 @@ class Env {
 
   // Reseeds the env's private RNG stream (affects subsequent resets).
   virtual void seed(std::uint64_t s) = 0;
+
+  // Checkpointing: serializes the COMPLETE episode state — entity positions,
+  // lives/score bookkeeping and the private RNG stream — so a restored env
+  // continues its trajectory bit-exactly mid-episode. load_state throws on
+  // truncated or mismatched data (util::sio semantics).
+  virtual void save_state(std::ostream& out) const = 0;
+  virtual void load_state(std::istream& in) = 0;
 };
 
 // The standard MiniArcade frame: 3 planes on a 12x12 grid.

@@ -7,6 +7,7 @@
 
 #include "arcade/env.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 
 namespace a3cs::arcade {
 
@@ -42,6 +43,25 @@ class GridGame : public Env {
   double episode_score() const { return episode_score_; }
   int steps() const { return steps_; }
 
+  // Template method: the base serializes the shared episode bookkeeping and
+  // the RNG stream, then delegates the variant-specific fields to
+  // save_game()/load_game().
+  void save_state(std::ostream& out) const final {
+    util::sio::put_rng(out, rng_);
+    util::sio::put_bool(out, done_);
+    util::sio::put_i32(out, steps_);
+    util::sio::put_f64(out, episode_score_);
+    save_game(out);
+  }
+
+  void load_state(std::istream& in) final {
+    util::sio::get_rng(in, rng_);
+    done_ = util::sio::get_bool(in);
+    steps_ = util::sio::get_i32(in);
+    episode_score_ = util::sio::get_f64(in);
+    load_game(in);
+  }
+
  protected:
   explicit GridGame(int max_steps, std::uint64_t seed_value = 1)
       : rng_(seed_value), max_steps_(max_steps) {}
@@ -51,6 +71,11 @@ class GridGame : public Env {
   virtual void on_reset() = 0;
   virtual double on_step(int action) = 0;
   virtual void draw(Tensor& frame) const = 0;
+
+  // Checkpointing hooks: every variant serializes ALL of its mutable episode
+  // fields (config fields are reconstructed from the factory, not saved).
+  virtual void save_game(std::ostream& out) const = 0;
+  virtual void load_game(std::istream& in) = 0;
 
   void end_episode() { done_ = true; }
 

@@ -202,4 +202,40 @@ void PaddleGame::draw(Tensor& frame) const {
   }
 }
 
+void PaddleGame::save_game(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_i32(out, paddle_x_);
+  sio::put_i32(out, opp_x_);
+  sio::put_i32(out, ball_x_);
+  sio::put_i32(out, ball_y_);
+  sio::put_i32(out, vel_x_);
+  sio::put_i32(out, vel_y_);
+  sio::put_i32(out, lives_left_);
+  sio::put_i32(out, points_);
+  sio::put_bool_vec(out, bricks_);
+  sio::put_u32(out, static_cast<std::uint32_t>(pellets_.size()));
+  for (const Pellet& p : pellets_) {
+    sio::put_i32(out, p.y);
+    sio::put_i32(out, p.x);
+  }
+}
+
+void PaddleGame::load_game(std::istream& in) {
+  namespace sio = util::sio;
+  paddle_x_ = sio::get_i32(in);
+  opp_x_ = sio::get_i32(in);
+  ball_x_ = sio::get_i32(in);
+  ball_y_ = sio::get_i32(in);
+  vel_x_ = sio::get_i32(in);
+  vel_y_ = sio::get_i32(in);
+  lives_left_ = sio::get_i32(in);
+  points_ = sio::get_i32(in);
+  bricks_ = sio::get_bool_vec(in);
+  pellets_.resize(sio::get_u32(in));
+  for (Pellet& p : pellets_) {
+    p.y = sio::get_i32(in);
+    p.x = sio::get_i32(in);
+  }
+}
+
 }  // namespace a3cs::arcade

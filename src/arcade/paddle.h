@@ -50,6 +50,8 @@ class PaddleGame : public GridGame {
   void on_reset() override;
   double on_step(int action) override;
   void draw(Tensor& frame) const override;
+  void save_game(std::ostream& out) const override;
+  void load_game(std::istream& in) override;
 
  private:
   void respawn_ball(bool towards_player);

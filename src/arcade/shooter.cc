@@ -242,4 +242,54 @@ void ShooterGame::on_reset_formation_wave() {
   }
 }
 
+void ShooterGame::save_game(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_i32(out, player_x_);
+  sio::put_i32(out, lives_left_);
+  sio::put_i32(out, cooldown_);
+  sio::put_i32(out, formation_dir_);
+  sio::put_u32(out, static_cast<std::uint32_t>(enemies_.size()));
+  for (const Enemy& e : enemies_) {
+    sio::put_i32(out, e.y);
+    sio::put_i32(out, e.x);
+    sio::put_i32(out, e.dir);
+    sio::put_i32(out, e.dy);
+  }
+  sio::put_u32(out, static_cast<std::uint32_t>(bullets_.size()));
+  for (const Bullet& b : bullets_) {
+    sio::put_i32(out, b.y);
+    sio::put_i32(out, b.x);
+  }
+  sio::put_u32(out, static_cast<std::uint32_t>(bombs_.size()));
+  for (const Bullet& b : bombs_) {
+    sio::put_i32(out, b.y);
+    sio::put_i32(out, b.x);
+  }
+}
+
+void ShooterGame::load_game(std::istream& in) {
+  namespace sio = util::sio;
+  player_x_ = sio::get_i32(in);
+  lives_left_ = sio::get_i32(in);
+  cooldown_ = sio::get_i32(in);
+  formation_dir_ = sio::get_i32(in);
+  enemies_.resize(sio::get_u32(in));
+  for (Enemy& e : enemies_) {
+    e.y = sio::get_i32(in);
+    e.x = sio::get_i32(in);
+    e.dir = sio::get_i32(in);
+    e.dy = sio::get_i32(in);
+  }
+  bullets_.resize(sio::get_u32(in));
+  for (Bullet& b : bullets_) {
+    b.y = sio::get_i32(in);
+    b.x = sio::get_i32(in);
+  }
+  bombs_.resize(sio::get_u32(in));
+  for (Bullet& b : bombs_) {
+    b.y = sio::get_i32(in);
+    b.x = sio::get_i32(in);
+  }
+}
+
 }  // namespace a3cs::arcade

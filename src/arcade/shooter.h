@@ -52,6 +52,8 @@ class ShooterGame : public GridGame {
   void on_reset() override;
   double on_step(int action) override;
   void draw(Tensor& frame) const override;
+  void save_game(std::ostream& out) const override;
+  void load_game(std::istream& in) override;
 
  private:
   struct Enemy {

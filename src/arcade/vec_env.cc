@@ -5,6 +5,7 @@
 #include "arcade/games.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 #include "util/thread_pool.h"
 
 namespace a3cs::arcade {
@@ -95,6 +96,27 @@ const VecStep& VecEnv::step(const std::vector<int>& actions) {
     }
   }
   return step_;
+}
+
+void VecEnv::save_state(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_u32(out, static_cast<std::uint32_t>(envs_.size()));
+  for (const auto& env : envs_) env->save_state(out);
+  sio::put_f64_vec(out, episode_scores_);
+  sio::put_f64_vec(out, running_returns_);
+  sio::put_i64(out, episodes_completed_);
+}
+
+void VecEnv::load_state(std::istream& in) {
+  namespace sio = util::sio;
+  const std::uint32_t n = sio::get_u32(in);
+  A3CS_CHECK(n == envs_.size(), "VecEnv::load_state: env count mismatch");
+  for (auto& env : envs_) env->load_state(in);
+  episode_scores_ = sio::get_f64_vec(in);
+  running_returns_ = sio::get_f64_vec(in);
+  A3CS_CHECK(running_returns_.size() == envs_.size(),
+             "VecEnv::load_state: running_returns size mismatch");
+  episodes_completed_ = sio::get_i64(in);
 }
 
 std::vector<double> VecEnv::drain_episode_scores() {

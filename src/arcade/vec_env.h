@@ -51,6 +51,14 @@ class VecEnv {
   // Running count of completed episodes.
   std::int64_t episodes_completed() const { return episodes_completed_; }
 
+  // Checkpointing: serializes every env's full episode state plus the
+  // cross-env bookkeeping (pending episode scores, running returns,
+  // completion count). load_state throws on env-count mismatch or
+  // truncation. The observation batch is NOT saved — the caller
+  // (rl::RolloutCollector) keeps its own copy of the current batch.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
  private:
   static void copy_into_batch(Tensor& batch, int slot, const Tensor& obs);
   void ensure_buffers();

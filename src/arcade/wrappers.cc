@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "arcade/games.h"
+#include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 
 namespace a3cs::arcade {
 
@@ -48,6 +50,23 @@ StepResult FrameStackEnv::step(int action) {
   history_.push_back(r.obs);
   r.obs = stacked();
   return r;
+}
+
+void FrameStackEnv::save_state(std::ostream& out) const {
+  inner_->save_state(out);
+  util::sio::put_u32(out, static_cast<std::uint32_t>(history_.size()));
+  for (const Tensor& t : history_) tensor::write_tensor(out, t);
+}
+
+void FrameStackEnv::load_state(std::istream& in) {
+  inner_->load_state(in);
+  const std::uint32_t n = util::sio::get_u32(in);
+  A3CS_CHECK(n == static_cast<std::uint32_t>(num_frames_) || n == 0,
+             "FrameStackEnv::load_state: frame-count mismatch");
+  history_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    history_.push_back(tensor::read_tensor(in));
+  }
 }
 
 std::unique_ptr<Env> make_stacked_game(const std::string& title,

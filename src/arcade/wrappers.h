@@ -25,6 +25,8 @@ class FrameStackEnv : public Env {
   ObsSpec obs_spec() const override;
   std::string name() const override { return inner_->name(); }
   void seed(std::uint64_t s) override { inner_->seed(s); }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   Tensor stacked() const;

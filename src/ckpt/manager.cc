@@ -1,0 +1,119 @@
+#include "ckpt/manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
+#include "util/config.h"
+#include "util/logging.h"
+
+namespace a3cs::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".a3ck";
+constexpr int kIterDigits = 9;
+
+// Parses "<prefix><digits><suffix>" -> iteration, or -1 when the name does
+// not belong to the ring (stray files are never touched by pruning).
+std::int64_t parse_iter(const std::string& filename) {
+  const std::size_t plen = std::string(kPrefix).size();
+  const std::size_t slen = std::string(kSuffix).size();
+  if (filename.size() <= plen + slen) return -1;
+  if (filename.compare(0, plen, kPrefix) != 0) return -1;
+  if (filename.compare(filename.size() - slen, slen, kSuffix) != 0) return -1;
+  const std::string digits =
+      filename.substr(plen, filename.size() - plen - slen);
+  if (digits.empty()) return -1;
+  std::int64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+CkptConfig CkptConfig::with_env_overrides() const {
+  CkptConfig out = *this;
+  out.dir = util::env_string("A3CS_CKPT_DIR", out.dir);
+  out.every_iters = static_cast<int>(
+      util::env_int("A3CS_CKPT_EVERY_ITERS", out.every_iters));
+  out.every_seconds =
+      util::env_double("A3CS_CKPT_EVERY_SECONDS", out.every_seconds);
+  out.keep = static_cast<int>(util::env_int("A3CS_CKPT_KEEP", out.keep));
+  out.resume = util::env_int("A3CS_CKPT_RESUME", out.resume ? 1 : 0) != 0;
+  return out;
+}
+
+CheckpointManager::CheckpointManager(CkptConfig cfg) : cfg_(std::move(cfg)) {
+  A3CS_CHECK(cfg_.enabled(), "CheckpointManager: empty checkpoint directory");
+  A3CS_CHECK(cfg_.keep >= 1, "CheckpointManager: keep must be >= 1");
+  fs::create_directories(cfg_.dir);
+}
+
+std::string CheckpointManager::path_for(std::int64_t iter) const {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%0*lld", kIterDigits,
+                static_cast<long long>(iter));
+  return cfg_.dir + "/" + kPrefix + digits + kSuffix;
+}
+
+std::size_t CheckpointManager::commit(std::int64_t iter,
+                                      const SectionWriter& writer) {
+  const std::string bytes = writer.encode();
+  util::atomic_write_file(path_for(iter), bytes);
+
+  // Prune the ring: keep the newest cfg_.keep checkpoints.
+  std::vector<std::int64_t> iters = list();
+  if (static_cast<int>(iters.size()) > cfg_.keep) {
+    const std::size_t drop = iters.size() - static_cast<std::size_t>(cfg_.keep);
+    for (std::size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      fs::remove(path_for(iters[i]), ec);  // best-effort
+    }
+  }
+  return bytes.size();
+}
+
+std::vector<std::int64_t> CheckpointManager::list() const {
+  std::vector<std::int64_t> iters;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const std::int64_t it = parse_iter(entry.path().filename().string());
+    if (it >= 0) iters.push_back(it);
+  }
+  std::sort(iters.begin(), iters.end());
+  return iters;
+}
+
+std::int64_t CheckpointManager::load_newest_valid(SectionReader* out,
+                                                  int* fallbacks) const {
+  static obs::Counter& fallback_counter =
+      obs::MetricsRegistry::global().counter("ckpt.fallbacks");
+  const std::vector<std::int64_t> iters = list();
+  int skipped = 0;
+  for (auto it = iters.rbegin(); it != iters.rend(); ++it) {
+    const std::string path = path_for(*it);
+    try {
+      SectionReader reader = SectionReader::from_file(path);
+      if (fallbacks != nullptr) *fallbacks = skipped;
+      if (out != nullptr) *out = std::move(reader);
+      return *it;
+    } catch (const std::exception& e) {
+      A3CS_LOG(WARN) << "checkpoint " << path
+                     << " failed validation, falling back: " << e.what();
+      fallback_counter.inc();
+      ++skipped;
+    }
+  }
+  if (fallbacks != nullptr) *fallbacks = skipped;
+  return -1;
+}
+
+}  // namespace a3cs::ckpt

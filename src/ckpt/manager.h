@@ -1,0 +1,72 @@
+// Checkpoint lifecycle management: cadence policy, the on-disk ring of the
+// last N checkpoints, and corruption-tolerant recovery.
+//
+// Files are named ckpt-<iteration, zero-padded>.a3ck inside a dedicated
+// directory. Writes are atomic (see section_file.h), pruning keeps the
+// newest `keep` files, and load_newest_valid() walks the ring newest-first,
+// skipping (and counting) any checkpoint that fails validation — so a tip
+// torn by a crash or truncated by a full disk falls back to the previous
+// intact one instead of killing the resume.
+//
+// Environment knobs (override the programmatic config, mirroring
+// A3CS_TRACE_* semantics):
+//   A3CS_CKPT_DIR=path        enable checkpointing into this directory
+//   A3CS_CKPT_EVERY_ITERS=N   checkpoint every N co-search iterations
+//   A3CS_CKPT_EVERY_SECONDS=T additionally checkpoint every T wall seconds
+//   A3CS_CKPT_KEEP=N          ring size (how many checkpoints to retain)
+//   A3CS_CKPT_RESUME=0|1      resume from the newest valid checkpoint
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/section_file.h"
+
+namespace a3cs::ckpt {
+
+struct CkptConfig {
+  // Empty = checkpointing disabled.
+  std::string dir;
+  // Write every N iterations (0 disables the iteration cadence).
+  int every_iters = 50;
+  // Additionally write when T wall-clock seconds elapsed since the last
+  // write (0 disables the time cadence).
+  double every_seconds = 0.0;
+  // Ring size; older checkpoints beyond this are pruned after each write.
+  int keep = 3;
+  // Restore from the newest valid checkpoint in `dir` before running.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
+
+  // Returns a copy with A3CS_CKPT_* environment overrides applied (env wins).
+  CkptConfig with_env_overrides() const;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CkptConfig cfg);
+
+  const CkptConfig& config() const { return cfg_; }
+
+  // Serializes `writer` to <dir>/ckpt-<iter>.a3ck atomically, then prunes
+  // the ring. Returns the number of bytes written.
+  std::size_t commit(std::int64_t iter, const SectionWriter& writer);
+
+  // Iterations that currently have a checkpoint on disk, ascending.
+  std::vector<std::int64_t> list() const;
+
+  // Loads the newest checkpoint that validates end-to-end. Corrupt or
+  // truncated files are skipped (each skip counted in `fallbacks` and in the
+  // ckpt.fallbacks metric). Returns the checkpoint's iteration and fills
+  // *out, or -1 when no valid checkpoint exists.
+  std::int64_t load_newest_valid(SectionReader* out, int* fallbacks = nullptr) const;
+
+  std::string path_for(std::int64_t iter) const;
+
+ private:
+  CkptConfig cfg_;
+};
+
+}  // namespace a3cs::ckpt

@@ -1,0 +1,95 @@
+// Sectioned checkpoint container ("A3CK", format version 1).
+//
+// Layout (all integers little-endian):
+//   magic "A3CK" | u8 version | u32 section_count
+//   per section: u32 name_len | name bytes | u64 payload_len | u32 crc32
+//                | payload bytes
+//   trailer: u32 crc32 of everything before the trailer (whole-file check)
+//
+// Each section is an opaque byte blob (subsystems encode their state with
+// util::sio / tensor::serialize); the per-section CRC pinpoints which
+// subsystem's state rotted, the trailer CRC cheaply rejects truncated tips.
+// Writing goes through util::atomic_write_file (tmp + fsync + rename), so a
+// checkpoint file on disk is always either complete and self-consistent or
+// absent — torn intermediate states cannot be observed.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace a3cs::ckpt {
+
+inline constexpr std::uint8_t kCkptFormatVersion = 1;
+
+// Raised for any structural problem with a checkpoint file: bad magic,
+// unknown version, truncation, CRC mismatch, missing section.
+class CkptError : public std::runtime_error {
+ public:
+  explicit CkptError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+// Accumulates named sections in memory, then serializes + atomically writes
+// the container. Section names must be unique.
+class SectionWriter {
+ public:
+  // Opens a fresh payload stream for `name`; finish with end_section().
+  // Only one section may be open at a time.
+  std::ostream& begin_section(const std::string& name);
+  void end_section();
+
+  // Convenience for pre-built payloads.
+  void add_section(const std::string& name, std::string payload);
+
+  // Serializes the container to bytes (magic, sections, trailer CRC).
+  std::string encode() const;
+
+  // encode() + util::atomic_write_file(path).
+  void write(const std::string& path) const;
+
+  std::size_t num_sections() const { return sections_.size(); }
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+  std::string open_name_;
+  std::ostringstream open_stream_;
+  bool section_open_ = false;
+};
+
+// Parses and validates a container; throws CkptError on any corruption.
+// Payload access returns an istream positioned at the section start.
+class SectionReader {
+ public:
+  // An empty reader (no sections) — the target for load_newest_valid().
+  SectionReader() = default;
+
+  // Validates magic, version, section table, every CRC and the trailer.
+  explicit SectionReader(std::string bytes);
+
+  static SectionReader from_file(const std::string& path);
+
+  bool has(const std::string& name) const;
+  // Throws CkptError when the section is absent.
+  const std::string& payload(const std::string& name) const;
+  // Stream over a section's payload (throws CkptError when absent).
+  std::istringstream stream(const std::string& name) const;
+
+  std::vector<std::string> section_names() const;
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace a3cs::ckpt

@@ -1,0 +1,55 @@
+#include "ckpt/signal.h"
+
+#include <csignal>
+
+namespace a3cs::ckpt {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_guard_depth = 0;
+
+#ifndef _WIN32
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+#else
+void (*g_prev_int)(int) = nullptr;
+void (*g_prev_term)(int) = nullptr;
+#endif
+
+extern "C" void a3cs_ckpt_stop_handler(int) { g_stop = 1; }
+
+}  // namespace
+
+StopSignalGuard::StopSignalGuard() {
+  if (g_guard_depth++ > 0) return;  // outermost guard owns the handlers
+#ifndef _WIN32
+  struct sigaction sa = {};
+  sa.sa_handler = a3cs_ckpt_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // don't turn slow writes into EINTR failures
+  sigaction(SIGINT, &sa, &g_prev_int);
+  sigaction(SIGTERM, &sa, &g_prev_term);
+#else
+  g_prev_int = std::signal(SIGINT, a3cs_ckpt_stop_handler);
+  g_prev_term = std::signal(SIGTERM, a3cs_ckpt_stop_handler);
+#endif
+}
+
+StopSignalGuard::~StopSignalGuard() {
+  if (--g_guard_depth > 0) return;
+#ifndef _WIN32
+  sigaction(SIGINT, &g_prev_int, nullptr);
+  sigaction(SIGTERM, &g_prev_term, nullptr);
+#else
+  std::signal(SIGINT, g_prev_int);
+  std::signal(SIGTERM, g_prev_term);
+#endif
+}
+
+bool stop_requested() { return g_stop != 0; }
+
+void clear_stop() { g_stop = 0; }
+
+void request_stop() { g_stop = 1; }
+
+}  // namespace a3cs::ckpt

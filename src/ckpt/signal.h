@@ -1,0 +1,34 @@
+// Async-signal-safe stop flag for graceful checkpoint-on-signal.
+//
+// install_stop_handlers() registers SIGINT/SIGTERM handlers that only set a
+// sig_atomic_t flag; the co-search loop polls stop_requested() at iteration
+// boundaries, writes a final checkpoint and returns cleanly. The previous
+// handlers are restored by the guard's destructor, so nesting (e.g. a
+// pipeline running several searches) behaves.
+#pragma once
+
+namespace a3cs::ckpt {
+
+// RAII: installs handlers on construction, restores the previous ones on
+// destruction. The flag is NOT cleared on destruction — callers that want a
+// fresh flag call clear_stop() explicitly.
+class StopSignalGuard {
+ public:
+  StopSignalGuard();
+  ~StopSignalGuard();
+
+  StopSignalGuard(const StopSignalGuard&) = delete;
+  StopSignalGuard& operator=(const StopSignalGuard&) = delete;
+};
+
+// True once SIGINT or SIGTERM was delivered while a guard was active.
+bool stop_requested();
+
+// Resets the flag (call before starting a run that should observe only its
+// own signals).
+void clear_stop();
+
+// Testing hook: behaves as if a signal had been delivered.
+void request_stop();
+
+}  // namespace a3cs::ckpt

@@ -4,12 +4,17 @@
 #include <sstream>
 
 #include "arcade/games.h"
+#include "ckpt/section_file.h"
+#include "ckpt/signal.h"
 #include "obs/exec_stats.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "util/crc32.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 
 namespace a3cs::core {
 
@@ -41,7 +46,9 @@ CoSearchEngine::CoSearchEngine(const std::string& game_title,
       space_(cfg.num_chunks,
              /*num_groups=*/cfg.supernet.space.num_cells + 2),
       predictor_(),
-      next_tau_decay_(cfg.tau_decay_every_frames) {
+      next_tau_decay_(cfg.tau_decay_every_frames),
+      theta_opt_(cfg.a2c.lr_start),
+      alpha_opt_(cfg.alpha_lr) {
   auto supernet = build_supernet(game_title, cfg_, &supernet_);
   const int feature_dim = supernet_->feature_dim();
   auto probe = arcade::make_game(game_title, 1);
@@ -78,9 +85,8 @@ double CoSearchEngine::apply_cost_penalty_to_alpha(accel::HwEval* eval_out) {
   return total_penalty;
 }
 
-IterStats CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
-                                        nn::Optimizer& alpha_opt,
-                                        bool update_theta, bool update_alpha) {
+IterStats CoSearchEngine::one_iteration(bool update_theta,
+                                        bool update_alpha) {
   A3CS_PROF_SCOPE("cosearch-iter");
   IterStats stats;
 
@@ -167,13 +173,169 @@ IterStats CoSearchEngine::one_iteration(nn::Optimizer& theta_opt,
   if (update_theta) {
     auto params = net_->parameters();
     nn::clip_grad_norm(params, static_cast<float>(cfg_.a2c.grad_clip));
-    theta_opt.step(params);
+    theta_opt_.step(params);
   }
   if (update_alpha) {
     auto alphas = supernet_->alpha_params();
-    alpha_opt.step(alphas);
+    alpha_opt_.step(alphas);
   }
   return stats;
+}
+
+namespace {
+
+// CRC over a network's serialized parameters: pins the teacher a checkpoint
+// was taken against, so resuming with a different (e.g. retrained) teacher
+// fails loudly instead of silently diverging.
+std::uint32_t params_crc(nn::ActorCriticNet& net) {
+  std::ostringstream oss;
+  net.save_params(oss);
+  const std::string bytes = oss.str();
+  return util::crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+void CoSearchEngine::save_checkpoint(ckpt::SectionWriter& writer) {
+  namespace sio = util::sio;
+  {
+    std::ostream& out = writer.begin_section("meta");
+    sio::put_string(out, game_title_);
+    sio::put_u64(out, cfg_.seed);
+    sio::put_i32(out, envs_.num_envs());
+    sio::put_i32(out, supernet_->num_cells());
+    sio::put_bool(out, cfg_.hardware_aware);
+    sio::put_bool(out, cfg_.optimization == Optimization::kBiLevel);
+    sio::put_bool(out, teacher_ != nullptr);
+    sio::put_u32(out, teacher_ != nullptr ? params_crc(*teacher_) : 0);
+    sio::put_i64(out, iter_);
+    sio::put_bool(out, alpha_turn_);
+    sio::put_i64(out, next_tau_decay_);
+    sio::put_i64(out, next_callback_);
+    sio::put_i64(out, collector_.frames());
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("theta");
+    net_->save_params(out);
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("theta_opt");
+    theta_opt_.save_state(out, net_->parameters());
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("alpha");
+    std::vector<std::pair<std::string, Tensor>> named;
+    for (nn::Parameter* p : supernet_->alpha_params()) {
+      named.emplace_back(p->name, p->value);
+    }
+    tensor::write_tensors(out, named);
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("alpha_opt");
+    alpha_opt_.save_state(out, supernet_->alpha_params());
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("nas");
+    supernet_->save_search_state(out);
+    writer.end_section();
+  }
+  if (cfg_.hardware_aware) {
+    std::ostream& out = writer.begin_section("das");
+    das_->save_state(out);
+    writer.end_section();
+  }
+  {
+    std::ostream& out = writer.begin_section("rollout");
+    collector_.save_state(out);
+    writer.end_section();
+  }
+}
+
+void CoSearchEngine::restore_checkpoint(const ckpt::SectionReader& reader) {
+  namespace sio = util::sio;
+  // Meta first: reject checkpoints from a differently configured run before
+  // touching any live state.
+  auto meta = reader.stream("meta");
+  A3CS_CHECK(sio::get_string(meta) == game_title_,
+             "checkpoint restore: game title mismatch");
+  A3CS_CHECK(sio::get_u64(meta) == cfg_.seed,
+             "checkpoint restore: seed mismatch");
+  A3CS_CHECK(sio::get_i32(meta) == envs_.num_envs(),
+             "checkpoint restore: num_envs mismatch");
+  A3CS_CHECK(sio::get_i32(meta) == supernet_->num_cells(),
+             "checkpoint restore: num_cells mismatch");
+  A3CS_CHECK(sio::get_bool(meta) == cfg_.hardware_aware,
+             "checkpoint restore: hardware_aware mismatch");
+  A3CS_CHECK(sio::get_bool(meta) ==
+                 (cfg_.optimization == Optimization::kBiLevel),
+             "checkpoint restore: optimization mode mismatch");
+  const bool had_teacher = sio::get_bool(meta);
+  const std::uint32_t teacher_crc = sio::get_u32(meta);
+  A3CS_CHECK(had_teacher == (teacher_ != nullptr),
+             "checkpoint restore: teacher presence mismatch");
+  if (teacher_ != nullptr) {
+    A3CS_CHECK(teacher_crc == params_crc(*teacher_),
+               "checkpoint restore: teacher parameters differ from the ones "
+               "the checkpoint was taken against");
+  }
+  const std::int64_t iter = sio::get_i64(meta);
+  const bool alpha_turn = sio::get_bool(meta);
+  const std::int64_t next_tau_decay = sio::get_i64(meta);
+  const std::int64_t next_callback = sio::get_i64(meta);
+
+  {
+    auto in = reader.stream("theta");
+    net_->load_params(in);
+  }
+  {
+    auto in = reader.stream("theta_opt");
+    theta_opt_.load_state(in, net_->parameters());
+  }
+  {
+    auto in = reader.stream("alpha");
+    const auto named = tensor::read_tensors(in);
+    auto alphas = supernet_->alpha_params();
+    A3CS_CHECK(named.size() == alphas.size(),
+               "checkpoint restore: alpha count mismatch");
+    for (nn::Parameter* p : alphas) {
+      bool found = false;
+      for (const auto& [name, t] : named) {
+        if (name != p->name) continue;
+        A3CS_CHECK(t.numel() == p->value.numel(),
+                   "checkpoint restore: alpha '" + name + "' shape mismatch");
+        p->value = t;
+        found = true;
+        break;
+      }
+      A3CS_CHECK(found, "checkpoint restore: alpha '" + p->name + "' missing");
+    }
+  }
+  {
+    auto in = reader.stream("alpha_opt");
+    alpha_opt_.load_state(in, supernet_->alpha_params());
+  }
+  {
+    auto in = reader.stream("nas");
+    supernet_->load_search_state(in);
+  }
+  if (cfg_.hardware_aware) {
+    auto in = reader.stream("das");
+    das_->load_state(in);
+  }
+  {
+    auto in = reader.stream("rollout");
+    collector_.load_state(in);
+  }
+
+  iter_ = iter;
+  alpha_turn_ = alpha_turn;
+  next_tau_decay_ = next_tau_decay;
+  next_callback_ = next_callback;
 }
 
 namespace {
@@ -244,42 +406,107 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   obs::Histogram& iter_ms_hist = obs::MetricsRegistry::global().histogram(
       "cosearch.iter_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
 
-  nn::RmsProp theta_opt(cfg_.a2c.lr_start);
-  nn::Adam alpha_opt(cfg_.alpha_lr);
   const nn::LinearLrSchedule schedule(
       cfg_.a2c.lr_start, cfg_.a2c.lr_end,
       static_cast<std::int64_t>(cfg_.a2c.lr_hold_frac *
                                 static_cast<double>(total_frames)),
       total_frames);
 
-  std::int64_t next_callback = callback_every;
-  std::int64_t iter = 0;
-  bool alpha_turn = false;  // bi-level: alternate theta / alpha rollouts
+  // Checkpointing: periodic (iteration and/or wall-clock cadence) plus a
+  // final write on SIGINT/SIGTERM. The write happens BEFORE the user
+  // callback fires at the same boundary, so a crash inside the callback
+  // resumes from a state that has not advanced past it.
+  const ckpt::CkptConfig ckpt_cfg = cfg_.ckpt.with_env_overrides();
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_mgr;
+  std::unique_ptr<ckpt::StopSignalGuard> stop_guard;
+  static obs::Counter& ckpt_writes =
+      obs::MetricsRegistry::global().counter("ckpt.writes");
+  static obs::Counter& ckpt_bytes =
+      obs::MetricsRegistry::global().counter("ckpt.bytes");
+  static obs::Counter& ckpt_restores =
+      obs::MetricsRegistry::global().counter("ckpt.restores");
+  obs::Histogram& ckpt_write_ms = obs::MetricsRegistry::global().histogram(
+      "ckpt.write_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+
+  // iter_ / alpha_turn_ are cumulative engine state (restore_checkpoint may
+  // already have positioned them); only the callback cadence is per-run.
+  next_callback_ = callback_every;
+  auto last_ckpt = std::chrono::steady_clock::now();
+  const auto write_ckpt = [&](const char* reason) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ckpt::SectionWriter writer;
+    save_checkpoint(writer);
+    const std::size_t bytes = ckpt_mgr->commit(iter_, writer);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    ckpt_writes.inc();
+    ckpt_bytes.inc(static_cast<std::int64_t>(bytes));
+    ckpt_write_ms.record(ms);
+    last_ckpt = std::chrono::steady_clock::now();
+    if (obs::trace_active()) {
+      obs::trace_event("ckpt_write")
+          .kv("iter", iter_)
+          .kv("frames", collector_.frames())
+          .kv("bytes", static_cast<std::int64_t>(bytes))
+          .kv("write_ms", ms)
+          .kv("reason", reason);
+    }
+  };
+
+  if (ckpt_cfg.enabled()) {
+    ckpt_mgr = std::make_unique<ckpt::CheckpointManager>(ckpt_cfg);
+    stop_guard = std::make_unique<ckpt::StopSignalGuard>();
+    if (ckpt_cfg.resume) {
+      ckpt::SectionReader reader;
+      int fallbacks = 0;
+      const std::int64_t at = ckpt_mgr->load_newest_valid(&reader, &fallbacks);
+      if (at >= 0) {
+        restore_checkpoint(reader);
+        ckpt_restores.inc();
+        A3CS_LOG(INFO) << "resumed co-search from " << ckpt_mgr->path_for(at)
+                       << " (iteration " << iter_ << ", "
+                       << collector_.frames() << " frames)";
+        if (obs::trace_active()) {
+          obs::trace_event("ckpt_restore")
+              .kv("iter", iter_)
+              .kv("frames", collector_.frames())
+              .kv("bytes", static_cast<std::int64_t>(reader.total_bytes()))
+              .kv("fallbacks", static_cast<std::int64_t>(fallbacks));
+        }
+      } else {
+        A3CS_LOG(WARN) << "checkpoint resume requested but no valid "
+                       << "checkpoint in " << ckpt_cfg.dir
+                       << "; starting fresh";
+      }
+    }
+  }
+
+  bool stopped = false;
   while (collector_.frames() < total_frames) {
     const std::int64_t frames_before = collector_.frames();
     const auto iter_start = std::chrono::steady_clock::now();
-    theta_opt.set_learning_rate(schedule.at(collector_.frames()));
+    theta_opt_.set_learning_rate(schedule.at(collector_.frames()));
     IterStats stats;
     if (cfg_.optimization == Optimization::kOneLevel) {
-      stats = one_iteration(theta_opt, alpha_opt, /*update_theta=*/true,
-                            /*update_alpha=*/true);
+      stats = one_iteration(/*update_theta=*/true, /*update_alpha=*/true);
     } else {
       // Bi-level (one-step approximation, as in DARTS-style NACoS): theta on
       // this rollout, alpha on the next, never both — the alpha gradient is
       // then taken at stale weights, which is exactly the bias the paper's
       // Sec. V-D ablation exposes.
-      stats = one_iteration(theta_opt, alpha_opt, /*update_theta=*/!alpha_turn,
-                            /*update_alpha=*/alpha_turn);
-      alpha_turn = !alpha_turn;
+      stats = one_iteration(/*update_theta=*/!alpha_turn_,
+                            /*update_alpha=*/alpha_turn_);
+      alpha_turn_ = !alpha_turn_;
     }
-    ++iter;
+    ++iter_;
     iters_counter.inc();
     frames_counter.inc(collector_.frames() - frames_before);
     iter_ms_hist.record(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - iter_start)
                             .count());
-    if (obs::trace_active() && iter % obs_cfg.trace_every == 0) {
-      emit_iter_event(iter, collector_.frames(), supernet_->temperature(),
+    if (obs::trace_active() && iter_ % obs_cfg.trace_every == 0) {
+      emit_iter_event(iter_, collector_.frames(), supernet_->temperature(),
                       das_->temperature(), stats,
                       supernet_->alpha_entropies());
     }
@@ -288,9 +515,29 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
       supernet_->decay_temperature();
       next_tau_decay_ += cfg_.tau_decay_every_frames;
     }
-    if (callback && callback_every > 0 && collector_.frames() >= next_callback) {
+
+    if (ckpt_mgr) {
+      stopped = ckpt::stop_requested();
+      const bool iter_due =
+          ckpt_cfg.every_iters > 0 && iter_ % ckpt_cfg.every_iters == 0;
+      const bool time_due =
+          ckpt_cfg.every_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        last_ckpt)
+                  .count() >= ckpt_cfg.every_seconds;
+      if (stopped || iter_due || time_due) {
+        write_ckpt(stopped ? "signal" : (iter_due ? "iters" : "seconds"));
+      }
+    }
+    if (callback && callback_every > 0 &&
+        collector_.frames() >= next_callback_) {
       callback(collector_.frames());
-      next_callback += callback_every;
+      next_callback_ += callback_every;
+    }
+    if (stopped) {
+      A3CS_LOG(INFO) << "stop signal received; checkpointed at iteration "
+                     << iter_ << " and exiting the search loop";
+      break;
     }
   }
 
@@ -305,7 +552,7 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
 
   obs::record_exec_stats();
   obs::trace_event("cosearch_end")
-      .kv("iters", iter)
+      .kv("iters", iter_)
       .kv("frames", result.frames)
       .kv("arch", result.arch.to_string())
       .kv("hw_fps", result.hw_eval.fps)

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "arcade/vec_env.h"
+#include "ckpt/manager.h"
 #include "das/das.h"
 #include "nas/supernet.h"
 #include "nn/actor_critic.h"
@@ -57,6 +58,10 @@ struct CoSearchConfig {
   // overrides at run(); results are bit-exact at any value (see
   // docs/PERFORMANCE.md).
   util::ExecConfig exec;
+  // Crash-safe checkpoint/resume. Environment variables (A3CS_CKPT_DIR,
+  // A3CS_CKPT_EVERY_ITERS, ...) override these at run(); see
+  // docs/CHECKPOINTING.md. A resumed run continues bit-exactly.
+  ckpt::CkptConfig ckpt;
 };
 
 // Everything one co-search iteration produced, for tracing/diagnostics.
@@ -94,13 +99,25 @@ class CoSearchEngine {
   das::DasEngine& das_engine() { return *das_; }
   const CoSearchConfig& config() const { return cfg_; }
 
+  // Checkpointing: serializes the COMPLETE co-search state (supernet theta
+  // and alpha, both optimizers' moments, the DAS engine, the Gumbel
+  // temperature schedule position, every RNG stream, every env's episode
+  // state and the iteration/frame counters) into `writer`; restore() makes
+  // a freshly constructed engine continue a run bit-exactly. restore()
+  // throws ckpt::CkptError / std::runtime_error on any mismatch between the
+  // checkpoint and this engine's configuration.
+  void save_checkpoint(ckpt::SectionWriter& writer);
+  void restore_checkpoint(const ckpt::SectionReader& reader);
+
+  // Iterations completed so far (survives checkpoint/restore).
+  std::int64_t iterations() const { return iter_; }
+
  private:
   // Returns the total lambda-weighted penalty added to the alpha gradients;
   // `eval_out` (if non-null) receives the hw(phi*) evaluation it was
   // computed from.
   double apply_cost_penalty_to_alpha(accel::HwEval* eval_out);
-  IterStats one_iteration(nn::Optimizer& theta_opt, nn::Optimizer& alpha_opt,
-                          bool update_theta, bool update_alpha);
+  IterStats one_iteration(bool update_theta, bool update_alpha);
 
   CoSearchConfig cfg_;
   std::string game_title_;
@@ -113,6 +130,14 @@ class CoSearchEngine {
   accel::Predictor predictor_;
   std::unique_ptr<das::DasEngine> das_;
   std::int64_t next_tau_decay_;
+
+  // Loop state that checkpoints must capture (members, not run()-locals, so
+  // save/restore can reach them).
+  nn::RmsProp theta_opt_;
+  nn::Adam alpha_opt_;
+  std::int64_t iter_ = 0;
+  bool alpha_turn_ = false;  // bi-level: alternate theta / alpha rollouts
+  std::int64_t next_callback_ = 0;
 };
 
 }  // namespace a3cs::core

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "accel/config_io.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 #include "util/thread_pool.h"
 
 namespace a3cs::das {
@@ -153,6 +156,110 @@ double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
     tau_ = std::max(cfg_.tau_min, tau_ * cfg_.tau_decay);
   }
   return last_cost;
+}
+
+namespace {
+
+void put_hw_eval(std::ostream& out, const accel::HwEval& e) {
+  namespace sio = util::sio;
+  sio::put_bool(out, e.feasible);
+  sio::put_f64(out, e.ii_cycles);
+  sio::put_f64(out, e.latency_cycles);
+  sio::put_f64(out, e.fps);
+  sio::put_f64(out, e.energy_nj);
+  sio::put_i32(out, e.dsp_used);
+  sio::put_f64(out, e.bram_used);
+  sio::put_f64(out, e.resource_overflow);
+  sio::put_u32(out, static_cast<std::uint32_t>(e.layers.size()));
+  for (const accel::LayerCost& lc : e.layers) {
+    sio::put_f64(out, lc.compute_cycles);
+    sio::put_f64(out, lc.memory_cycles);
+    sio::put_f64(out, lc.cycles);
+    sio::put_f64(out, lc.sram_bytes);
+    sio::put_f64(out, lc.dram_bytes);
+    sio::put_f64(out, lc.energy_nj);
+    sio::put_i32(out, lc.chunk);
+  }
+  sio::put_f64_vec(out, e.chunk_cycles);
+}
+
+accel::HwEval get_hw_eval(std::istream& in) {
+  namespace sio = util::sio;
+  accel::HwEval e;
+  e.feasible = sio::get_bool(in);
+  e.ii_cycles = sio::get_f64(in);
+  e.latency_cycles = sio::get_f64(in);
+  e.fps = sio::get_f64(in);
+  e.energy_nj = sio::get_f64(in);
+  e.dsp_used = sio::get_i32(in);
+  e.bram_used = sio::get_f64(in);
+  e.resource_overflow = sio::get_f64(in);
+  e.layers.resize(sio::get_u32(in));
+  for (accel::LayerCost& lc : e.layers) {
+    lc.compute_cycles = sio::get_f64(in);
+    lc.memory_cycles = sio::get_f64(in);
+    lc.cycles = sio::get_f64(in);
+    lc.sram_bytes = sio::get_f64(in);
+    lc.dram_bytes = sio::get_f64(in);
+    lc.energy_nj = sio::get_f64(in);
+    lc.chunk = sio::get_i32(in);
+  }
+  e.chunk_cycles = sio::get_f64_vec(in);
+  return e;
+}
+
+}  // namespace
+
+void DasEngine::save_state(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_u32(out, static_cast<std::uint32_t>(phis_.size()));
+  std::vector<nn::Parameter*> params;
+  for (const auto& phi : phis_) {
+    params.push_back(const_cast<nn::Parameter*>(&phi.param()));
+  }
+  for (const nn::Parameter* p : params) {
+    tensor::write_tensor(out, p->value);
+  }
+  opt_.save_state(out, params);
+  sio::put_rng(out, rng_);
+  sio::put_f64(out, tau_);
+  sio::put_f64(out, baseline_);
+  sio::put_bool(out, baseline_init_);
+  sio::put_bool(out, has_best_seen_);
+  if (has_best_seen_) {
+    sio::put_string(out, accel::encode_config(best_seen_config_));
+    put_hw_eval(out, best_seen_eval_);
+    sio::put_f64(out, best_seen_cost_);
+  }
+}
+
+void DasEngine::load_state(std::istream& in) {
+  namespace sio = util::sio;
+  const std::uint32_t n = sio::get_u32(in);
+  A3CS_CHECK(n == phis_.size(), "DasEngine::load_state: knob count mismatch");
+  std::vector<nn::Parameter*> params;
+  for (auto& phi : phis_) params.push_back(&phi.param());
+  for (nn::Parameter* p : params) {
+    tensor::Tensor t = tensor::read_tensor(in);
+    A3CS_CHECK(t.numel() == p->value.numel(),
+               "DasEngine::load_state: phi logit shape mismatch");
+    p->value = t;
+  }
+  opt_.load_state(in, params);
+  sio::get_rng(in, rng_);
+  tau_ = sio::get_f64(in);
+  baseline_ = sio::get_f64(in);
+  baseline_init_ = sio::get_bool(in);
+  has_best_seen_ = sio::get_bool(in);
+  if (has_best_seen_) {
+    best_seen_config_ = accel::decode_config(sio::get_string(in));
+    best_seen_eval_ = get_hw_eval(in);
+    best_seen_cost_ = sio::get_f64(in);
+  } else {
+    best_seen_config_ = AcceleratorConfig{};
+    best_seen_eval_ = HwEval{};
+    best_seen_cost_ = 0.0;
+  }
 }
 
 AcceleratorConfig DasEngine::derive() const {

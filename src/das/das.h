@@ -11,6 +11,7 @@
 // reduction (standard for single-sample estimators; ablatable via config).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -78,6 +79,13 @@ class DasEngine {
   const AcceleratorConfig& incumbent() const { return best_seen_config_; }
   const HwEval& incumbent_eval() const { return best_seen_eval_; }
   double incumbent_cost() const { return best_seen_cost_; }
+
+  // Checkpointing: the COMPLETE search state — phi logits, their Adam
+  // moments, the sample RNG, temperature, EMA baseline and the incumbent —
+  // so a restored engine continues the search bit-exactly. load throws on
+  // knob-count mismatch or truncation.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
 
  private:
   const AcceleratorSpace& space_;

@@ -1,9 +1,12 @@
 #include "nas/supernet.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "obs/profile.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 
 namespace a3cs::nas {
 
@@ -88,6 +91,22 @@ std::vector<double> Supernet::alpha_entropies() const {
 
 void Supernet::set_argmax_mode(bool on) {
   for (auto& cell : cells_) cell->set_argmax_mode(on);
+}
+
+void Supernet::save_search_state(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_u32(out, static_cast<std::uint32_t>(cells_.size()));
+  sio::put_f64(out, tau_);
+  sio::put_rng(out, sampler_);
+}
+
+void Supernet::load_search_state(std::istream& in) {
+  namespace sio = util::sio;
+  const std::uint32_t n = sio::get_u32(in);
+  A3CS_CHECK(n == cells_.size(),
+             "Supernet::load_search_state: cell count mismatch");
+  tau_ = sio::get_f64(in);
+  sio::get_rng(in, sampler_);
 }
 
 std::vector<nn::LayerSpec> Supernet::specs_for(

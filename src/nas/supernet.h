@@ -3,6 +3,7 @@
 // losses, distillation) runs unchanged on the supernet during search.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -54,6 +55,13 @@ class Supernet : public nn::Module {
   int num_cells() const { return static_cast<int>(cells_.size()); }
   const SpaceGeometry& geometry() const { return geometry_; }
   const SupernetConfig& config() const { return cfg_; }
+
+  // Checkpointing: the sampling-side search state — Gumbel temperature and
+  // the shared sampler RNG. Alpha logits and supernet weights are ordinary
+  // parameters and are serialized separately by the caller. load throws on
+  // truncation or cell-count mismatch.
+  void save_search_state(std::ostream& out) const;
+  void load_search_state(std::istream& in);
 
   // LayerSpecs of the network given per-cell choices (stem + cells + fc).
   std::vector<nn::LayerSpec> specs_for(const std::vector<int>& choices) const;

@@ -1,5 +1,7 @@
 #include "nn/actor_critic.h"
 
+#include <unordered_map>
+
 #include "nn/init.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
@@ -56,6 +58,37 @@ std::int64_t ActorCriticNet::num_parameters() {
   return n;
 }
 
+namespace {
+
+// Name-keyed restore shared by the file and stream load paths. Every
+// parameter must find exactly one same-named, same-shaped tensor, and every
+// tensor must be consumed — anything else is a structural mismatch between
+// the checkpoint and this network, reported loudly.
+void assign_named(const std::vector<std::pair<std::string, Tensor>>& named,
+                  const std::vector<Parameter*>& params) {
+  std::unordered_map<std::string, const Tensor*> by_name;
+  by_name.reserve(named.size());
+  for (const auto& [name, t] : named) {
+    const bool inserted = by_name.emplace(name, &t).second;
+    A3CS_CHECK(inserted, "checkpoint has duplicate parameter name '" + name +
+                             "' — cannot match unambiguously");
+  }
+  A3CS_CHECK(named.size() == params.size(),
+             "checkpoint parameter count mismatch: file has " +
+                 std::to_string(named.size()) + ", network has " +
+                 std::to_string(params.size()));
+  for (Parameter* p : params) {
+    const auto it = by_name.find(p->name);
+    A3CS_CHECK(it != by_name.end(),
+               "checkpoint is missing parameter '" + p->name + "'");
+    A3CS_CHECK(it->second->same_shape(p->value),
+               "checkpoint shape mismatch at " + p->name);
+    p->value = *it->second;
+  }
+}
+
+}  // namespace
+
 void ActorCriticNet::save(const std::string& path) {
   std::vector<std::pair<std::string, Tensor>> named;
   for (Parameter* p : parameters()) named.emplace_back(p->name, p->value);
@@ -63,15 +96,17 @@ void ActorCriticNet::save(const std::string& path) {
 }
 
 void ActorCriticNet::load(const std::string& path) {
-  const auto named = tensor::read_tensors(path);
-  auto params = parameters();
-  A3CS_CHECK(named.size() == params.size(),
-             "checkpoint parameter count mismatch for " + path);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    A3CS_CHECK(named[i].second.same_shape(params[i]->value),
-               "checkpoint shape mismatch at " + params[i]->name);
-    params[i]->value = named[i].second;
-  }
+  assign_named(tensor::read_tensors(path), parameters());
+}
+
+void ActorCriticNet::save_params(std::ostream& out) {
+  std::vector<std::pair<std::string, Tensor>> named;
+  for (Parameter* p : parameters()) named.emplace_back(p->name, p->value);
+  tensor::write_tensors(out, named);
+}
+
+void ActorCriticNet::load_params(std::istream& in) {
+  assign_named(tensor::read_tensors(in), parameters());
 }
 
 void ActorCriticNet::copy_from(ActorCriticNet& other) {

@@ -4,6 +4,7 @@
 // heads, which `backward` accepts directly.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,10 +37,16 @@ class ActorCriticNet {
   int num_actions() const { return num_actions_; }
   Module& backbone() { return *backbone_; }
 
-  // Checkpointing: positional parameter dump compatible with any net built
-  // by the same factory.
+  // Checkpointing: name-keyed parameter dump. Loading matches tensors to
+  // parameters BY NAME, so a reordered (or differently-built) layer list
+  // fails loudly — missing, extra, duplicate or shape-mismatched names all
+  // throw — instead of silently loading wrong weights into right slots.
   void save(const std::string& path);
   void load(const std::string& path);
+  // Stream variants, used by the checkpoint subsystem to embed the
+  // parameters as one section payload.
+  void save_params(std::ostream& out);
+  void load_params(std::istream& in);
 
   // Copies all weights from another net of identical construction.
   void copy_from(ActorCriticNet& other);

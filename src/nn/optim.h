@@ -7,6 +7,8 @@
 // is stable (the usual case).
 #pragma once
 
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +26,17 @@ class Optimizer {
   double learning_rate() const { return lr_; }
   void set_learning_rate(double lr) { lr_ = lr; }
 
+  // Checkpointing: (de)serializes the per-parameter moments for `params`,
+  // keyed by position in the vector — stable for identically-built networks
+  // (the same guarantee module parameter collection gives). Parameters that
+  // were never stepped round-trip as "absent" so a restored optimizer is
+  // indistinguishable from the original. load_state throws on shape or
+  // count mismatch.
+  virtual void save_state(std::ostream& out,
+                          const std::vector<Parameter*>& params) const = 0;
+  virtual void load_state(std::istream& in,
+                          const std::vector<Parameter*>& params) = 0;
+
  protected:
   explicit Optimizer(double lr) : lr_(lr) {}
   double lr_;
@@ -35,6 +48,10 @@ class Sgd : public Optimizer {
       : Optimizer(lr), momentum_(momentum) {}
 
   void step(const std::vector<Parameter*>& params) override;
+  void save_state(std::ostream& out,
+                  const std::vector<Parameter*>& params) const override;
+  void load_state(std::istream& in,
+                  const std::vector<Parameter*>& params) override;
 
  private:
   double momentum_;
@@ -48,6 +65,10 @@ class RmsProp : public Optimizer {
       : Optimizer(lr), alpha_(alpha), eps_(eps) {}
 
   void step(const std::vector<Parameter*>& params) override;
+  void save_state(std::ostream& out,
+                  const std::vector<Parameter*>& params) const override;
+  void load_state(std::istream& in,
+                  const std::vector<Parameter*>& params) override;
 
  private:
   double alpha_, eps_;
@@ -61,6 +82,10 @@ class Adam : public Optimizer {
       : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
   void step(const std::vector<Parameter*>& params) override;
+  void save_state(std::ostream& out,
+                  const std::vector<Parameter*>& params) const override;
+  void load_state(std::istream& in,
+                  const std::vector<Parameter*>& params) override;
 
  private:
   struct State {

@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "tensor/ops.h"
+#include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/state_io.h"
 
 namespace a3cs::rl {
 
@@ -61,6 +63,28 @@ Rollout RolloutCollector::collect(ActorCriticNet& net, int length) {
   }
   out.last_obs = current_obs_;
   return out;
+}
+
+void RolloutCollector::save_state(std::ostream& out) const {
+  namespace sio = util::sio;
+  sio::put_rng(out, rng_);
+  sio::put_i64(out, frames_);
+  sio::put_bool(out, started_);
+  if (started_) tensor::write_tensor(out, current_obs_);
+  envs_.save_state(out);
+}
+
+void RolloutCollector::load_state(std::istream& in) {
+  namespace sio = util::sio;
+  sio::get_rng(in, rng_);
+  frames_ = sio::get_i64(in);
+  started_ = sio::get_bool(in);
+  if (started_) {
+    current_obs_ = tensor::read_tensor(in);
+  } else {
+    current_obs_ = Tensor();
+  }
+  envs_.load_state(in);
 }
 
 }  // namespace a3cs::rl

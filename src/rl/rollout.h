@@ -41,6 +41,12 @@ class RolloutCollector {
   // Total env frames stepped so far (num_envs per step).
   std::int64_t frames() const { return frames_; }
 
+  // Checkpointing: action-sampling RNG, frame counter and the pending
+  // observation batch (plus the full state of the underlying VecEnv), so a
+  // restored collector resumes its trajectory stream bit-exactly.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
  private:
   VecEnv& envs_;
   util::Rng rng_;

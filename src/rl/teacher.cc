@@ -45,10 +45,18 @@ std::unique_ptr<nn::ActorCriticNet> get_or_train_teacher(
     const std::string& game_title, const TeacherConfig& cfg) {
   const std::string path = cache_path(game_title, cfg);
   if (std::filesystem::exists(path)) {
-    auto net = build_teacher_net(game_title, cfg);
-    net->load(path);
-    A3CS_LOG(INFO) << "teacher for " << game_title << " loaded from " << path;
-    return net;
+    // A cache entry from an older serialization format (or a torn write)
+    // fails loudly on load; fall through to retraining instead of dying.
+    try {
+      auto net = build_teacher_net(game_title, cfg);
+      net->load(path);
+      A3CS_LOG(INFO) << "teacher for " << game_title << " loaded from "
+                     << path;
+      return net;
+    } catch (const std::exception& e) {
+      A3CS_LOG(WARN) << "stale teacher cache " << path << " (" << e.what()
+                     << "); retraining";
+    }
   }
   A3CS_LOG(INFO) << "training teacher for " << game_title << " ("
                  << cfg.train_frames << " frames)";

@@ -1,6 +1,8 @@
 #include "tensor/serialize.h"
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -12,15 +14,42 @@ namespace {
 constexpr char kTensorMagic[4] = {'A', '3', 'C', 'T'};
 constexpr char kFileMagic[4] = {'A', '3', 'C', 'F'};
 
+// Explicit little-endian integer encoding: byte i carries bits [8i, 8i+8).
+// Writers/readers never memcpy whole integers, so the on-disk format is
+// identical on big- and little-endian hosts.
 void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.write(buf, 4);
 }
 
 std::uint32_t read_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  char buf[4];
+  in.read(buf, 4);
   if (!in) throw std::runtime_error("tensor deserialize: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
   return v;
+}
+
+void write_version(std::ostream& out) {
+  const char v = static_cast<char>(kSerializeVersion);
+  out.write(&v, 1);
+}
+
+void read_and_check_version(std::istream& in, const char* container) {
+  char v = 0;
+  in.read(&v, 1);
+  if (!in) throw std::runtime_error("tensor deserialize: truncated stream");
+  if (static_cast<std::uint8_t>(v) != kSerializeVersion) {
+    throw std::runtime_error(
+        std::string("tensor deserialize: unsupported ") + container +
+        " format version " + std::to_string(static_cast<unsigned char>(v)) +
+        " (expected " + std::to_string(kSerializeVersion) + ")");
+  }
 }
 
 void write_string(std::ostream& out, const std::string& s) {
@@ -36,16 +65,47 @@ std::string read_string(std::istream& in) {
   return s;
 }
 
+// Float payloads are little-endian IEEE-754 bit patterns. On LE hosts (the
+// common case) that is the in-memory layout and the buffer is written/read
+// in bulk; on BE hosts each element is byte-swapped through its bit pattern.
+void write_f32_data(std::ostream& out, const float* data, std::int64_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(n) *
+                  static_cast<std::streamsize>(sizeof(float)));
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &data[i], sizeof(bits));
+      write_u32(out, bits);
+    }
+  }
+}
+
+void read_f32_data(std::istream& in, float* data, std::int64_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    in.read(reinterpret_cast<char*>(data),
+            static_cast<std::streamsize>(n) *
+                static_cast<std::streamsize>(sizeof(float)));
+    if (!in) throw std::runtime_error("tensor deserialize: truncated data");
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint32_t bits = read_u32(in);
+      std::memcpy(&data[i], &bits, sizeof(bits));
+    }
+  }
+}
+
 }  // namespace
 
 void write_tensor(std::ostream& out, const Tensor& t) {
   out.write(kTensorMagic, 4);
+  write_version(out);
   write_u32(out, static_cast<std::uint32_t>(t.shape().rank()));
   for (int i = 0; i < t.shape().rank(); ++i) {
     write_u32(out, static_cast<std::uint32_t>(t.shape()[i]));
   }
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  write_f32_data(out, t.data(), t.numel());
 }
 
 Tensor read_tensor(std::istream& in) {
@@ -54,6 +114,7 @@ Tensor read_tensor(std::istream& in) {
   if (!in || std::string(magic, 4) != std::string(kTensorMagic, 4)) {
     throw std::runtime_error("tensor deserialize: bad magic");
   }
+  read_and_check_version(in, "A3CT");
   const std::uint32_t rank = read_u32(in);
   if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
     throw std::runtime_error("tensor deserialize: rank too large");
@@ -72,35 +133,29 @@ Tensor read_tensor(std::istream& in) {
     default: throw std::runtime_error("tensor deserialize: bad rank");
   }
   Tensor t(shape);
-  in.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!in) throw std::runtime_error("tensor deserialize: truncated data");
+  read_f32_data(in, t.data(), t.numel());
   return t;
 }
 
 void write_tensors(
-    const std::string& path,
+    std::ostream& out,
     const std::vector<std::pair<std::string, Tensor>>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_tensors: cannot open " + path);
   out.write(kFileMagic, 4);
+  write_version(out);
   write_u32(out, static_cast<std::uint32_t>(tensors.size()));
   for (const auto& [name, t] : tensors) {
     write_string(out, name);
     write_tensor(out, t);
   }
-  if (!out) throw std::runtime_error("write_tensors: write failed " + path);
 }
 
-std::vector<std::pair<std::string, Tensor>> read_tensors(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_tensors: cannot open " + path);
+std::vector<std::pair<std::string, Tensor>> read_tensors(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::string(magic, 4) != std::string(kFileMagic, 4)) {
-    throw std::runtime_error("read_tensors: bad file magic in " + path);
+    throw std::runtime_error("read_tensors: bad file magic");
   }
+  read_and_check_version(in, "A3CF");
   const std::uint32_t count = read_u32(in);
   std::vector<std::pair<std::string, Tensor>> out;
   out.reserve(count);
@@ -109,6 +164,26 @@ std::vector<std::pair<std::string, Tensor>> read_tensors(
     out.emplace_back(std::move(name), read_tensor(in));
   }
   return out;
+}
+
+void write_tensors(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_tensors: cannot open " + path);
+  write_tensors(out, tensors);
+  if (!out) throw std::runtime_error("write_tensors: write failed " + path);
+}
+
+std::vector<std::pair<std::string, Tensor>> read_tensors(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_tensors: cannot open " + path);
+  try {
+    return read_tensors(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
 }
 
 }  // namespace a3cs::tensor

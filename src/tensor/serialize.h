@@ -1,9 +1,19 @@
 // Binary tensor (de)serialization: used to cache pretrained teacher agents
-// between bench runs and to round-trip trained networks in tests.
+// between bench runs, to round-trip trained networks in tests, and as the
+// payload encoding of checkpoint sections (src/ckpt).
 //
-// Format: magic "A3CT", u32 rank, u32 dims[rank], f32 data[numel].
+// Tensor record ("A3CT" container, format version 1):
+//   magic "A3CT", u8 version, u32 rank, u32 dims[rank], f32 data[numel]
+// Named-list file ("A3CF" container, format version 1):
+//   magic "A3CF", u8 version, u32 count, count x (string name, tensor)
+//
+// All multi-byte fields are little-endian BY DEFINITION — writers emit
+// explicit LE bytes and readers reassemble them, so files are portable
+// across hosts of either byte order. Unknown format versions are rejected
+// with a clear error instead of being misread.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -13,10 +23,17 @@
 
 namespace a3cs::tensor {
 
+// Current format version of both the A3CT and A3CF containers.
+inline constexpr std::uint8_t kSerializeVersion = 1;
+
 void write_tensor(std::ostream& out, const Tensor& t);
 Tensor read_tensor(std::istream& in);
 
 // Whole-model checkpoints: an ordered list of named tensors.
+void write_tensors(std::ostream& out,
+                   const std::vector<std::pair<std::string, Tensor>>& tensors);
+std::vector<std::pair<std::string, Tensor>> read_tensors(std::istream& in);
+
 void write_tensors(const std::string& path,
                    const std::vector<std::pair<std::string, Tensor>>& tensors);
 std::vector<std::pair<std::string, Tensor>> read_tensors(

@@ -1,0 +1,21 @@
+// Crash-safe file replacement: write to a sibling temporary, fsync it, then
+// rename() over the destination and fsync the directory. On POSIX rename is
+// atomic, so a reader (or a process restarted after a crash at ANY point in
+// the sequence) sees either the complete old file or the complete new file,
+// never a torn mix — the property the checkpoint ring relies on.
+#pragma once
+
+#include <string>
+
+namespace a3cs::util {
+
+// Atomically replaces `path` with `bytes`. Throws std::runtime_error on any
+// I/O failure; on failure the destination is untouched and the temporary is
+// unlinked best-effort.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+// Reads a whole file into a string. Throws std::runtime_error when the file
+// cannot be opened.
+std::string read_file_bytes(const std::string& path);
+
+}  // namespace a3cs::util

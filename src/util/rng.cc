@@ -102,4 +102,18 @@ int Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  has_cached_normal_ = st.has_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 }  // namespace a3cs::util

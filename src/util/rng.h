@@ -11,6 +11,15 @@
 
 namespace a3cs::util {
 
+// Complete serializable engine state: the xoshiro words plus the Box-Muller
+// cache, so a restored stream continues bit-exactly mid-sequence (including
+// between the two halves of a normal() pair).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 // xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
 // Seeded through SplitMix64 so that nearby integer seeds give independent
 // streams.
@@ -50,6 +59,10 @@ class Rng {
 
   // Derive an independent child stream (e.g. one per environment instance).
   Rng split();
+
+  // Checkpointing: capture / restore the full engine state.
+  RngState state() const;
+  void set_state(const RngState& s);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,48 @@
+// POD state (de)serialization helpers for checkpointing. Every integer is
+// written in explicit little-endian byte order and every float through its
+// IEEE-754 bit pattern, so state blobs are bit-exact across compilers and
+// byte-order-portable across hosts. Readers throw std::runtime_error on
+// truncation — a checkpoint is either restored completely or not at all.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace a3cs::util::sio {
+
+void put_u8(std::ostream& out, std::uint8_t v);
+void put_u32(std::ostream& out, std::uint32_t v);
+void put_u64(std::ostream& out, std::uint64_t v);
+void put_i32(std::ostream& out, std::int32_t v);
+void put_i64(std::ostream& out, std::int64_t v);
+void put_f32(std::ostream& out, float v);
+void put_f64(std::ostream& out, double v);
+void put_bool(std::ostream& out, bool v);
+void put_string(std::ostream& out, const std::string& s);
+void put_rng(std::ostream& out, const Rng& rng);
+
+std::uint8_t get_u8(std::istream& in);
+std::uint32_t get_u32(std::istream& in);
+std::uint64_t get_u64(std::istream& in);
+std::int32_t get_i32(std::istream& in);
+std::int64_t get_i64(std::istream& in);
+float get_f32(std::istream& in);
+double get_f64(std::istream& in);
+bool get_bool(std::istream& in);
+std::string get_string(std::istream& in);
+void get_rng(std::istream& in, Rng& rng);
+
+// Homogeneous containers: u32 count followed by the elements.
+void put_i32_vec(std::ostream& out, const std::vector<int>& v);
+std::vector<int> get_i32_vec(std::istream& in);
+void put_f64_vec(std::ostream& out, const std::vector<double>& v);
+std::vector<double> get_f64_vec(std::istream& in);
+void put_bool_vec(std::ostream& out, const std::vector<bool>& v);
+std::vector<bool> get_bool_vec(std::istream& in);
+
+}  // namespace a3cs::util::sio

@@ -2,12 +2,16 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "accel/config_io.h"
 #include "accel/predictor.h"
 #include "accel/space.h"
 #include "core/result_io.h"
 #include "nn/zoo.h"
+#include "tensor/serialize.h"
 
 namespace a3cs {
 namespace {
@@ -82,6 +86,86 @@ TEST(ConfigIo, RejectsMalformedInput) {
   EXPECT_THROW(accel::decode_config("bogus=1"), std::runtime_error);
 }
 
+// A valid single-chunk encoding whose fields the tests below corrupt one at
+// a time.
+std::string valid_chunk_encoding() {
+  util::Rng rng(21);
+  AcceleratorSpace space(1, 2);
+  return accel::encode_config(space.decode(space.random_choices(rng)));
+}
+
+TEST(ConfigIo, RejectsOutOfRangeAndTruncatedFields) {
+  const std::string good = valid_chunk_encoding();
+  ASSERT_NO_THROW(accel::decode_config(good));
+
+  // stoi/stod throw std::invalid_argument on fully non-numeric tokens, so
+  // accept any exception type — never a silently parsed config.
+  auto corrupt = [&](const std::string& field, const std::string& repl) {
+    const std::size_t at = good.find(field);
+    ASSERT_NE(at, std::string::npos) << field;
+    std::string bad = good;
+    bad.replace(at, field.size(), repl);
+    EXPECT_ANY_THROW(accel::decode_config(bad)) << repl;
+  };
+  corrupt("noc=", "noc=9,x=");       // out-of-range NoC id
+  corrupt("df=", "df=7,x=");         // out-of-range dataflow id
+  corrupt("split=", "split=0.5:");   // split with too few parts
+  corrupt("chunks=", "chunks=zz,");  // non-numeric integer
+  corrupt("toc=", "weird=8,x=");     // unknown per-chunk field
+
+  // Strings cut off mid-token (as a torn write would leave them) must not
+  // parse as smaller valid configs.
+  EXPECT_ANY_THROW(accel::decode_config("chunks=1;alloc="));
+  EXPECT_ANY_THROW(accel::decode_config("chunks=1;alloc=0;chunk=4x"));
+  EXPECT_ANY_THROW(accel::decode_config("chunks=1;alloc=0;chunk=4x4,noc="));
+}
+
+// ------------------------------------------------------- tensor formats ---
+
+TEST(TensorFormat, RejectsUnknownVersionAndBadMagic) {
+  const tensor::Tensor t({2, 3}, 0.5f);
+  std::ostringstream oss;
+  tensor::write_tensor(oss, t);
+  const std::string good = oss.str();
+
+  {  // Flip the version byte (offset 4, right after the "A3CT" magic).
+    std::string bad = good;
+    bad[4] = 2;
+    std::istringstream in(bad);
+    try {
+      tensor::read_tensor(in);
+      FAIL() << "unknown A3CT version accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+  }
+  {  // Corrupt the magic.
+    std::string bad = good;
+    bad[0] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW(tensor::read_tensor(in), std::runtime_error);
+  }
+  {  // Truncate inside the payload.
+    std::istringstream in(good.substr(0, good.size() - 3));
+    EXPECT_THROW(tensor::read_tensor(in), std::runtime_error);
+  }
+}
+
+TEST(TensorFormat, NamedContainerRejectsUnknownVersion) {
+  std::ostringstream oss;
+  tensor::write_tensors(oss, {{"w", tensor::Tensor({2}, 1.0f)},
+                              {"b", tensor::Tensor({1}, 2.0f)}});
+  std::string bad = oss.str();
+  bad[4] = 9;  // version byte follows the "A3CF" magic
+  std::istringstream in(bad);
+  try {
+    tensor::read_tensors(in);
+    FAIL() << "unknown A3CF version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
 // ------------------------------------------------------------ result IO ---
 
 TEST(ResultIo, RoundTrip) {
@@ -118,6 +202,23 @@ TEST(ResultIo, MissingFieldsRejected) {
 
 TEST(ResultIo, MissingFileRejected) {
   EXPECT_THROW(core::load_result("/nonexistent/res.txt"), std::runtime_error);
+}
+
+TEST(ResultIo, MalformedLinesRejected) {
+  const std::string path = ::testing::TempDir() + "/a3cs_malformed_result.txt";
+  const std::vector<std::string> bodies = {
+      "game=Pong\nthis line has no equals sign\n",
+      "game=Pong\nmystery_key=42\narch=conv3\n",
+      "arch=not a real arch string !!\naccel=chunks=1;alloc=0\n",
+  };
+  for (const std::string& body : bodies) {
+    {
+      std::ofstream out(path);
+      out << body;
+    }
+    EXPECT_THROW(core::load_result(path), std::runtime_error) << body;
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace
