@@ -5,30 +5,39 @@
 #   A3CS_SANITIZE=thread bench/run_sanitized.sh
 #
 # The default ASan/UBSan pass covers the util + obs layers (atomic metrics,
-# the shared trace writer, the profiler's thread-local cursors) plus the
+# the shared trace writer, the profiler's thread-local cursors), the
 # checkpoint subsystem (sectioned container parsing of adversarial bytes,
-# the full save/restore round-trip). The TSan pass instead targets the
-# parallel execution layer: the thread pool itself plus every kernel and
-# subsystem that dispatches onto it (GEMM/im2col, VecEnv stepping, the
-# top-K NAS backward), run with A3CS_THREADS=4 so the pool actually fans
-# out.
+# the full save/restore round-trip) and the training-health guard (fault
+# injection, rollback recovery), and finishes with an end-to-end
+# fault-injection smoke of cosearch_full --guard=heal. The TSan pass
+# instead targets the parallel execution layer: the thread pool itself plus
+# every kernel and subsystem that dispatches onto it (GEMM/im2col, VecEnv
+# stepping, the top-K NAS backward) and the guard's cross-thread pieces
+# (the global FaultInjector, the metrics it bumps), run with A3CS_THREADS=4
+# so the pool actually fans out.
 set -eu
 
 SAN="${A3CS_SANITIZE:-address}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-san-$SAN"
+SMOKE=""
 
 if [ "$SAN" = "thread" ]; then
-  TESTS="thread_pool_test tensor_test arcade_test determinism_test"
+  TESTS="thread_pool_test tensor_test arcade_test determinism_test guard_test"
+  # Skip the (wall-clock) stall-watchdog cases: TSan's slowdown makes any
+  # timing threshold meaningless.
+  GUARD_FILTER="-*Stall*"
   export A3CS_THREADS="${A3CS_THREADS:-4}"
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
-  TESTS="util_test obs_test thread_pool_test ckpt_test io_test"
+  TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test"
+  GUARD_FILTER=""
+  SMOKE="cosearch_full"
 fi
 
 # shellcheck disable=SC2086
 cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target $TESTS
+cmake --build "$BUILD" -j "$(nproc)" --target $TESTS $SMOKE
 
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
@@ -36,6 +45,25 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 status=0
 for t in $TESTS; do
   echo "== $t ($SAN${A3CS_THREADS:+, A3CS_THREADS=$A3CS_THREADS}) =="
-  "$BUILD/tests/$t" || status=$?
+  if [ -n "$GUARD_FILTER" ] && [ "$t" = "guard_test" ]; then
+    "$BUILD/tests/$t" --gtest_filter="$GUARD_FILTER" || status=$?
+  else
+    "$BUILD/tests/$t" || status=$?
+  fi
 done
+
+# End-to-end guard smoke (ASan pass only): inject a persistent NaN weight
+# into a tiny real pipeline run and require the heal-mode guard to finish it
+# via checkpoint rollback (an abort would crash out non-zero). See
+# docs/ROBUSTNESS.md.
+if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
+  echo "== guard fault-injection smoke ($SAN) =="
+  CKPT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/a3cs_guard_smoke.XXXXXX")"
+  A3CS_SCALE="${A3CS_SCALE:-0.05}" \
+  A3CS_GUARD=heal A3CS_GUARD_SKIPS=1 A3CS_GUARD_SOFTENS=1 \
+  A3CS_FAULT_NAN_PARAM=5 \
+  A3CS_CKPT_DIR="$CKPT_DIR" A3CS_CKPT_EVERY_ITERS=2 A3CS_CKPT_KEEP=8 \
+    "$BUILD/examples/cosearch_full" Catch || status=$?
+  rm -rf "$CKPT_DIR"
+fi
 exit "$status"

@@ -3,17 +3,22 @@
 // with DAS, and report (test score, FPS) against the FA3C-style baseline.
 //
 //   ./examples/cosearch_full [game] [--ckpt-dir <dir>] [--resume <dir>]
+//                            [--guard=off|warn|heal]
 //
 // --ckpt-dir enables periodic + signal-triggered checkpointing of the
 // co-search phase into <dir>; --resume additionally restores the newest
 // valid checkpoint there before searching (see docs/CHECKPOINTING.md).
-// A3CS_CKPT_* environment variables override both.
+// A3CS_CKPT_* environment variables override both. --guard selects the
+// training-health watchdog mode (default warn: observe and trace, never
+// act; heal runs the skip/soften/rollback ladder — see docs/ROBUSTNESS.md);
+// A3CS_GUARD* environment variables override it.
 #include <iostream>
 #include <string>
 
 #include "accel/fa3c.h"
 #include "core/pipeline.h"
 #include "core/result_io.h"
+#include "guard/policy.h"
 #include "util/config.h"
 
 using namespace a3cs;
@@ -21,6 +26,7 @@ using namespace a3cs;
 int main(int argc, char** argv) {
   std::string game = "Pong";
   ckpt::CkptConfig ckpt_cfg;
+  guard::GuardConfig guard_cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ckpt-dir" && i + 1 < argc) {
@@ -28,10 +34,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--resume" && i + 1 < argc) {
       ckpt_cfg.dir = argv[++i];
       ckpt_cfg.resume = true;
+    } else if (arg.rfind("--guard=", 0) == 0) {
+      try {
+        guard_cfg.mode = guard::parse_guard_mode(arg.substr(8));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n"
                 << "usage: cosearch_full [game] [--ckpt-dir <dir>] "
-                << "[--resume <dir>]\n";
+                << "[--resume <dir>] [--guard=off|warn|heal]\n";
       return 2;
     } else {
       game = arg;
@@ -49,6 +62,7 @@ int main(int argc, char** argv) {
   cfg.train_frames = util::scaled_steps(15000);
   cfg.final_das.iterations = 400;
   cfg.cosearch.ckpt = ckpt_cfg;
+  cfg.cosearch.guard = guard_cfg;
 
   std::cout << "running the full A3C-S pipeline on " << game << "...\n";
   const auto result = run_a3cs_pipeline(game, cfg, teacher.get());

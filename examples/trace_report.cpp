@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   std::map<std::string, Series> iter_series;
   std::vector<const obs::JsonValue*> phases;
   std::vector<const obs::JsonValue*> profile_nodes;
+  std::vector<const obs::JsonValue*> guard_events;
   std::int64_t iters = 0;
   double span_ms = 0.0;
   for (const obs::JsonValue& ev : events) {
@@ -84,6 +85,7 @@ int main(int argc, char** argv) {
     span_ms = std::max(span_ms, ev.number_or("ts_ms", 0.0));
     if (type == "phase") phases.push_back(&ev);
     if (type == "profile") profile_nodes.push_back(&ev);
+    if (type == "guard_event") guard_events.push_back(&ev);
     if (type == "cosearch_iter") {
       ++iters;
       for (const auto& [key, value] : ev.as_object()) {
@@ -147,6 +149,20 @@ int main(int argc, char** argv) {
                      fmt(n->number_or("calls", 0.0)),
                      fmt(n->number_or("total_ms", 0.0)),
                      fmt(n->number_or("pct_of_parent", 0.0))});
+    }
+    table.print(std::cout);
+  }
+
+  // ---- guard activity (docs/ROBUSTNESS.md) ------------------------------
+  if (!guard_events.empty()) {
+    std::cout << "\nGuard activity (" << guard_events.size() << " events):\n";
+    util::TextTable table({"iter", "kind", "check", "severity", "detail"});
+    for (const auto* g : guard_events) {
+      table.add_row({std::to_string(static_cast<std::int64_t>(
+                         g->number_or("iter", -1.0))),
+                     g->string_or("kind", "?"), g->string_or("check", ""),
+                     g->string_or("severity", ""),
+                     g->string_or("detail", "")});
     }
     table.print(std::cout);
   }

@@ -93,15 +93,25 @@ std::vector<std::int64_t> CheckpointManager::list() const {
 }
 
 std::int64_t CheckpointManager::load_newest_valid(SectionReader* out,
-                                                  int* fallbacks) const {
+                                                  int* fallbacks,
+                                                  bool require_healthy) const {
   static obs::Counter& fallback_counter =
       obs::MetricsRegistry::global().counter("ckpt.fallbacks");
+  static obs::Counter& unhealthy_counter =
+      obs::MetricsRegistry::global().counter("ckpt.unhealthy_skips");
   const std::vector<std::int64_t> iters = list();
   int skipped = 0;
   for (auto it = iters.rbegin(); it != iters.rend(); ++it) {
     const std::string path = path_for(*it);
     try {
       SectionReader reader = SectionReader::from_file(path);
+      if (require_healthy && !reader.healthy()) {
+        A3CS_LOG(WARN) << "checkpoint " << path
+                       << " is tagged unhealthy, falling back";
+        unhealthy_counter.inc();
+        ++skipped;
+        continue;
+      }
       if (fallbacks != nullptr) *fallbacks = skipped;
       if (out != nullptr) *out = std::move(reader);
       return *it;
@@ -114,6 +124,16 @@ std::int64_t CheckpointManager::load_newest_valid(SectionReader* out,
   }
   if (fallbacks != nullptr) *fallbacks = skipped;
   return -1;
+}
+
+int CheckpointManager::remove_newer_than(std::int64_t iter) const {
+  int removed = 0;
+  for (const std::int64_t it : list()) {
+    if (it <= iter) continue;
+    std::error_code ec;
+    if (fs::remove(path_for(it), ec)) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace a3cs::ckpt

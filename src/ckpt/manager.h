@@ -59,9 +59,18 @@ class CheckpointManager {
 
   // Loads the newest checkpoint that validates end-to-end. Corrupt or
   // truncated files are skipped (each skip counted in `fallbacks` and in the
-  // ckpt.fallbacks metric). Returns the checkpoint's iteration and fills
-  // *out, or -1 when no valid checkpoint exists.
-  std::int64_t load_newest_valid(SectionReader* out, int* fallbacks = nullptr) const;
+  // ckpt.fallbacks metric); with `require_healthy` set, checkpoints whose
+  // trailer health tag is cleared (written while the HealthMonitor reported
+  // an error) are skipped the same way — the guard's rollback path uses this
+  // so a run never restores INTO a diverged state. Returns the checkpoint's
+  // iteration and fills *out, or -1 when no acceptable checkpoint exists.
+  std::int64_t load_newest_valid(SectionReader* out, int* fallbacks = nullptr,
+                                 bool require_healthy = false) const;
+
+  // Deletes every ring checkpoint strictly newer than `iter` (used after a
+  // guard rollback so stale unhealthy tips cannot shadow the healthy state
+  // the run restarted from). Returns the number of files removed.
+  int remove_newer_than(std::int64_t iter) const;
 
   std::string path_for(std::int64_t iter) const;
 

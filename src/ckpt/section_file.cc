@@ -108,6 +108,7 @@ std::string SectionWriter::encode() const {
     append_u32(out, util::crc32(s.payload.data(), s.payload.size()));
     out += s.payload;
   }
+  out.push_back(static_cast<char>(healthy_ ? kCkptFlagHealthy : 0));
   append_u32(out, util::crc32(out.data(), out.size()));
   return out;
 }
@@ -124,11 +125,13 @@ SectionReader::SectionReader(std::string bytes) : total_bytes_(bytes.size()) {
   }
   const unsigned char version =
       static_cast<unsigned char>(*cur.take(1, "version"));
-  if (version != kCkptFormatVersion) {
+  if (version < kCkptMinFormatVersion || version > kCkptFormatVersion) {
     throw CkptError("checkpoint: unsupported format version " +
                     std::to_string(version) + " (expected " +
+                    std::to_string(kCkptMinFormatVersion) + ".." +
                     std::to_string(kCkptFormatVersion) + ")");
   }
+  version_ = version;
   const std::uint32_t count = cur.u32("section count");
   sections_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -147,6 +150,14 @@ SectionReader::SectionReader(std::string bytes) : total_bytes_(bytes.size()) {
     sections_.push_back(
         Section{std::move(name),
                 std::string(payload_p, static_cast<std::size_t>(payload_len))});
+  }
+  if (version >= 2) {
+    // v2 trailer: a flags byte (health tag) precedes the whole-file CRC.
+    const unsigned char flags =
+        static_cast<unsigned char>(*cur.take(1, "trailer flags"));
+    healthy_ = (flags & kCkptFlagHealthy) != 0;
+  } else {
+    healthy_ = true;  // v1 predates the tag; treat as healthy
   }
   const std::size_t body_end = cur.pos();
   const std::uint32_t trailer = cur.u32("trailer crc");

@@ -1,10 +1,16 @@
-// Sectioned checkpoint container ("A3CK", format version 1).
+// Sectioned checkpoint container ("A3CK", format version 2).
 //
 // Layout (all integers little-endian):
 //   magic "A3CK" | u8 version | u32 section_count
 //   per section: u32 name_len | name bytes | u64 payload_len | u32 crc32
 //                | payload bytes
-//   trailer: u32 crc32 of everything before the trailer (whole-file check)
+//   trailer: u8 flags | u32 crc32 of everything before the trailer CRC
+//
+// The trailer flags byte (added in v2; v1 files without it still load and
+// report healthy) carries the training-health tag: bit 0 set means the run's
+// HealthMonitor considered the state healthy when it was written. The guard's
+// rollback path restores only health-tagged checkpoints so a run never heals
+// itself INTO a diverged state (see docs/ROBUSTNESS.md).
 //
 // Each section is an opaque byte blob (subsystems encode their state with
 // util::sio / tensor::serialize); the per-section CRC pinpoints which
@@ -22,7 +28,12 @@
 
 namespace a3cs::ckpt {
 
-inline constexpr std::uint8_t kCkptFormatVersion = 1;
+inline constexpr std::uint8_t kCkptFormatVersion = 2;
+// Oldest format version the reader still accepts (v1 = no trailer flags).
+inline constexpr std::uint8_t kCkptMinFormatVersion = 1;
+
+// Trailer flag bits (v2+).
+inline constexpr std::uint8_t kCkptFlagHealthy = 0x01;
 
 // Raised for any structural problem with a checkpoint file: bad magic,
 // unknown version, truncation, CRC mismatch, missing section.
@@ -43,6 +54,12 @@ class SectionWriter {
   // Convenience for pre-built payloads.
   void add_section(const std::string& name, std::string payload);
 
+  // Training-health tag stamped into the trailer flags byte. Defaults to
+  // healthy; the co-search engine clears it when the HealthMonitor reported
+  // an error at write time.
+  void set_healthy(bool healthy) { healthy_ = healthy; }
+  bool healthy() const { return healthy_; }
+
   // Serializes the container to bytes (magic, sections, trailer CRC).
   std::string encode() const;
 
@@ -60,6 +77,7 @@ class SectionWriter {
   std::string open_name_;
   std::ostringstream open_stream_;
   bool section_open_ = false;
+  bool healthy_ = true;
 };
 
 // Parses and validates a container; throws CkptError on any corruption.
@@ -83,6 +101,10 @@ class SectionReader {
   std::vector<std::string> section_names() const;
   std::size_t total_bytes() const { return total_bytes_; }
 
+  // The trailer health tag. v1 files (which predate the flag) report healthy.
+  bool healthy() const { return healthy_; }
+  std::uint8_t format_version() const { return version_; }
+
  private:
   struct Section {
     std::string name;
@@ -90,6 +112,8 @@ class SectionReader {
   };
   std::vector<Section> sections_;
   std::size_t total_bytes_ = 0;
+  bool healthy_ = true;
+  std::uint8_t version_ = kCkptFormatVersion;
 };
 
 }  // namespace a3cs::ckpt

@@ -1,11 +1,18 @@
 #include "core/cosearch.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "arcade/games.h"
 #include "ckpt/section_file.h"
 #include "ckpt/signal.h"
+#include "guard/fault.h"
+#include "nn/module.h"
 #include "obs/exec_stats.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -85,16 +92,25 @@ double CoSearchEngine::apply_cost_penalty_to_alpha(accel::HwEval* eval_out) {
   return total_penalty;
 }
 
-IterStats CoSearchEngine::one_iteration(bool update_theta,
-                                        bool update_alpha) {
+IterStats CoSearchEngine::one_iteration(bool update_theta, bool update_alpha,
+                                        bool heal) {
   A3CS_PROF_SCOPE("cosearch-iter");
   IterStats stats;
+  guard::FaultInjector& faults = guard::FaultInjector::global();
 
   // (1) Rollout with the sampled single-path policy.
   rl::Rollout rollout;
   {
     A3CS_PROF_SCOPE("rollout");
+    const auto t0 = std::chrono::steady_clock::now();
+    if (faults.should_fire(guard::FaultKind::kStallEnv, iter_)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(faults.stall_ms()));
+    }
     rollout = collector_.collect(*net_, cfg_.a2c.rollout_len);
+    stats.rollout_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   }
   double reward_sum = 0.0;
   std::int64_t reward_n = 0;
@@ -153,7 +169,14 @@ IterStats CoSearchEngine::one_iteration(bool update_theta,
     in.teacher_probs = &teacher_probs;
     in.teacher_values = &teacher_values;
   }
-  const rl::HeadGradients grads = rl::task_loss(in, coef, &stats.loss);
+  rl::HeadGradients grads = rl::task_loss(in, coef, &stats.loss);
+  stats.value_abs_max = static_cast<double>(ac.value.abs_max());
+  if (faults.should_fire(guard::FaultKind::kInfLoss, iter_)) {
+    // Poison both the scalar stats and the head gradients — exactly what a
+    // real overflow inside the loss would hand the rest of the iteration.
+    stats.loss.total = std::numeric_limits<double>::infinity();
+    grads.dlogits.at(0) = std::numeric_limits<float>::infinity();
+  }
 
   net_->zero_grad();
   supernet_->zero_alpha_grads();
@@ -169,16 +192,45 @@ IterStats CoSearchEngine::one_iteration(bool update_theta,
     stats.hw_valid = true;
   }
 
-  // (5) Parameter updates.
-  if (update_theta) {
-    auto params = net_->parameters();
-    nn::clip_grad_norm(params, static_cast<float>(cfg_.a2c.grad_clip));
-    theta_opt_.step(params);
+  // (5) Parameter updates, guarded: the fused norm pass both feeds the
+  // health monitor and (in heal mode) vetoes an update that would commit
+  // non-finite values into the weights.
+  auto params = net_->parameters();
+  if (faults.should_fire(guard::FaultKind::kNanGrad, iter_) &&
+      !params.empty() && params.front()->grad.numel() > 0) {
+    params.front()->grad.at(0) = std::numeric_limits<float>::quiet_NaN();
   }
-  if (update_alpha) {
+  const nn::NormStats grad_stats = nn::grad_norm_stats(params);
+  stats.grad_norm = grad_stats.norm;
+  stats.grad_finite = grad_stats.finite;
+
+  const bool unsafe = !std::isfinite(stats.loss.total) || !grad_stats.finite;
+  if (heal && unsafe) {
+    nn::zero_gradients(params);
     auto alphas = supernet_->alpha_params();
-    alpha_opt_.step(alphas);
+    nn::zero_gradients(alphas);  // the poison backpropagated into alpha too
+    stats.update_skipped = true;
+  } else {
+    if (update_theta) {
+      nn::clip_grad_norm(params, static_cast<float>(cfg_.a2c.grad_clip));
+      theta_opt_.step(params);
+    }
+    if (update_alpha) {
+      auto alphas = supernet_->alpha_params();
+      alpha_opt_.step(alphas);
+    }
   }
+
+  if (faults.should_fire(guard::FaultKind::kNanParam, iter_) &&
+      !params.empty() && params.front()->value.numel() > 0) {
+    // Persistent corruption: unlike a poisoned batch, a NaN WEIGHT survives
+    // any number of skipped updates — only a rollback heals it. Injected
+    // before the parameter-norm pass so the monitor flags it this iteration.
+    params.front()->value.at(0) = std::numeric_limits<float>::quiet_NaN();
+  }
+  const nn::NormStats param_stats = nn::param_norm_stats(params);
+  stats.param_norm = param_stats.norm;
+  stats.param_finite = param_stats.finite;
   return stats;
 }
 
@@ -359,7 +411,11 @@ void emit_iter_event(std::int64_t iter, std::int64_t frames, double tau,
       .kv("tau", tau)
       .kv("das_tau", das_tau)
       .kv("das_cost", stats.das_cost)
-      .kv("cost_penalty", stats.cost_penalty);
+      .kv("cost_penalty", stats.cost_penalty)
+      .kv("grad_norm", stats.grad_norm)
+      .kv("param_norm", stats.param_norm)
+      .kv("value_abs_max", stats.value_abs_max);
+  if (stats.update_skipped) ev.kv("update_skipped", true);
   double alpha_h_sum = 0.0;
   for (std::size_t cell = 0; cell < alpha_entropies.size(); ++cell) {
     alpha_h_sum += alpha_entropies[cell];
@@ -389,6 +445,18 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   util::ThreadPool::set_global_threads(exec_cfg.resolved_threads());
   obs::MetricsRegistry::global().gauge("exec.threads")
       .set(util::ThreadPool::global().threads());
+
+  // Training-health watchdog (docs/ROBUSTNESS.md). Monitor and ladder state
+  // are deliberately per-run and NOT checkpointed: a healthy run takes no
+  // guard actions, so bit-exact kill-and-resume is preserved, and a run
+  // restored after a crash starts with a clean escalation ladder.
+  const guard::GuardConfig guard_cfg = cfg_.guard.with_env_overrides();
+  guard::FaultInjector::global().arm_from_env();
+  guard::HealthMonitor monitor(guard_cfg.health);
+  guard::GuardPolicy guard_policy(guard_cfg);
+  const bool guard_on = guard_cfg.mode != guard::GuardMode::kOff;
+  const bool heal = guard_cfg.mode == guard::GuardMode::kHeal;
+
   obs::TraceSession trace_session(obs_cfg);
   obs::trace_event("cosearch_start")
       .kv("game", game_title_)
@@ -398,13 +466,30 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
       .kv("hardware_aware", cfg_.hardware_aware)
       .kv("bi_level", cfg_.optimization == Optimization::kBiLevel)
       .kv("lambda", cfg_.lambda)
-      .kv("seed", static_cast<std::int64_t>(cfg_.seed));
+      .kv("seed", static_cast<std::int64_t>(cfg_.seed))
+      .kv("guard", guard::guard_mode_name(guard_cfg.mode));
   static obs::Counter& iters_counter =
       obs::MetricsRegistry::global().counter("cosearch.iterations");
   static obs::Counter& frames_counter =
       obs::MetricsRegistry::global().counter("cosearch.frames");
   obs::Histogram& iter_ms_hist = obs::MetricsRegistry::global().histogram(
       "cosearch.iter_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  static obs::Counter& guard_warns =
+      obs::MetricsRegistry::global().counter("guard.verdicts.warn");
+  static obs::Counter& guard_errors =
+      obs::MetricsRegistry::global().counter("guard.verdicts.error");
+  static obs::Counter& guard_skips =
+      obs::MetricsRegistry::global().counter("guard.skips");
+  static obs::Counter& guard_softens =
+      obs::MetricsRegistry::global().counter("guard.softens");
+  static obs::Counter& guard_rollbacks =
+      obs::MetricsRegistry::global().counter("guard.rollbacks");
+  static obs::Counter& guard_aborts =
+      obs::MetricsRegistry::global().counter("guard.aborts");
+  static obs::Gauge& grad_norm_gauge =
+      obs::MetricsRegistry::global().gauge("train.grad_norm");
+  static obs::Gauge& param_norm_gauge =
+      obs::MetricsRegistry::global().gauge("train.param_norm");
 
   const nn::LinearLrSchedule schedule(
       cfg_.a2c.lr_start, cfg_.a2c.lr_end,
@@ -432,11 +517,36 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   // already have positioned them); only the callback cadence is per-run.
   next_callback_ = callback_every;
   auto last_ckpt = std::chrono::steady_clock::now();
+
+  // Soften state: a multiplicative LR scale (theta and alpha) plus a Gumbel
+  // temperature boost, in force until the cooldown window expires.
+  double soften_scale = 1.0;
+  std::int64_t soften_until = -1;
+  // Health of the most recently evaluated iteration; stamps the trailer tag
+  // of any checkpoint written at that boundary (guard off/warn and the
+  // pre-first-iteration state count as healthy).
+  bool last_iter_healthy = true;
+
   const auto write_ckpt = [&](const char* reason) {
     const auto t0 = std::chrono::steady_clock::now();
     ckpt::SectionWriter writer;
     save_checkpoint(writer);
+    writer.set_healthy(last_iter_healthy);
     const std::size_t bytes = ckpt_mgr->commit(iter_, writer);
+    if (guard::FaultInjector::global().should_fire(
+            guard::FaultKind::kTruncCkpt, iter_)) {
+      // Torn-tip fault: halve the file AFTER the atomic commit, simulating
+      // the disk filling up / the machine dying mid-write in a world without
+      // the tmp+rename protocol. load_newest_valid must fall back past it.
+      const std::string path = ckpt_mgr->path_for(iter_);
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      if (!ec && size > 0) {
+        std::filesystem::resize_file(path, size / 2, ec);
+        A3CS_LOG(WARN) << "fault injection: truncated checkpoint " << path
+                       << " to " << size / 2 << " bytes";
+      }
+    }
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -450,8 +560,38 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
           .kv("frames", collector_.frames())
           .kv("bytes", static_cast<std::int64_t>(bytes))
           .kv("write_ms", ms)
-          .kv("reason", reason);
+          .kv("reason", reason)
+          .kv("healthy", last_iter_healthy);
     }
+  };
+
+  // Abort rung: dump the complete (diverged) engine state for post-mortem
+  // debugging, then surface the failure as a typed exception. The dump is
+  // tagged unhealthy so no resume path will ever restore from it.
+  const auto abort_run = [&](const std::string& why) {
+    guard_aborts.inc();
+    std::string dump_path;
+    if (ckpt_mgr) {
+      ckpt::SectionWriter dump;
+      save_checkpoint(dump);
+      dump.set_healthy(false);
+      dump_path = ckpt_cfg.dir + "/abort-dump.a3ck";
+      dump.write(dump_path);
+    }
+    if (obs::trace_active()) {
+      obs::trace_event("guard_event")
+          .kv("kind", "abort_dump")
+          .kv("iter", iter_)
+          .kv("detail", why)
+          .kv("dump", dump_path);
+    }
+    A3CS_LOG(ERROR) << "guard: aborting co-search at iteration " << iter_
+                    << ": " << why
+                    << (dump_path.empty() ? std::string()
+                                          : "; diagnostic dump at " +
+                                                dump_path);
+    throw guard::GuardAbort("co-search aborted at iteration " +
+                            std::to_string(iter_) + ": " + why);
   };
 
   if (ckpt_cfg.enabled()) {
@@ -486,17 +626,26 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   while (collector_.frames() < total_frames) {
     const std::int64_t frames_before = collector_.frames();
     const auto iter_start = std::chrono::steady_clock::now();
-    theta_opt_.set_learning_rate(schedule.at(collector_.frames()));
+    if (soften_until >= 0 && iter_ >= soften_until) {
+      soften_scale = 1.0;
+      soften_until = -1;
+      alpha_opt_.set_learning_rate(cfg_.alpha_lr);
+      A3CS_LOG(INFO) << "guard: soften cooldown expired at iteration "
+                     << iter_ << "; learning rates restored";
+    }
+    theta_opt_.set_learning_rate(schedule.at(collector_.frames()) *
+                                 soften_scale);
     IterStats stats;
     if (cfg_.optimization == Optimization::kOneLevel) {
-      stats = one_iteration(/*update_theta=*/true, /*update_alpha=*/true);
+      stats = one_iteration(/*update_theta=*/true, /*update_alpha=*/true,
+                            heal);
     } else {
       // Bi-level (one-step approximation, as in DARTS-style NACoS): theta on
       // this rollout, alpha on the next, never both — the alpha gradient is
       // then taken at stale weights, which is exactly the bias the paper's
       // Sec. V-D ablation exposes.
       stats = one_iteration(/*update_theta=*/!alpha_turn_,
-                            /*update_alpha=*/alpha_turn_);
+                            /*update_alpha=*/alpha_turn_, heal);
       alpha_turn_ = !alpha_turn_;
     }
     ++iter_;
@@ -505,10 +654,139 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
     iter_ms_hist.record(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - iter_start)
                             .count());
+    grad_norm_gauge.set(stats.grad_norm);
+    param_norm_gauge.set(stats.param_norm);
     if (obs::trace_active() && iter_ % obs_cfg.trace_every == 0) {
       emit_iter_event(iter_, collector_.frames(), supernet_->temperature(),
                       das_->temperature(), stats,
                       supernet_->alpha_entropies());
+    }
+
+    if (guard_on) {
+      guard::HealthSignals sig;
+      sig.iter = iter_;
+      sig.loss_total = stats.loss.total;
+      sig.loss_policy = stats.loss.policy;
+      sig.loss_value = stats.loss.value;
+      sig.entropy = stats.loss.entropy;
+      sig.grad_norm = stats.grad_norm;
+      sig.grad_finite = stats.grad_finite;
+      sig.param_norm = stats.param_norm;
+      sig.param_finite = stats.param_finite;
+      sig.value_abs_max = stats.value_abs_max;
+      sig.mean_reward = stats.mean_reward;
+      sig.rollout_ms = stats.rollout_ms;
+      const std::vector<double> alpha_h = supernet_->alpha_entropies();
+      if (!alpha_h.empty()) {
+        double sum = 0.0;
+        for (const double h : alpha_h) sum += h;
+        sig.alpha_entropy_mean = sum / static_cast<double>(alpha_h.size());
+      }
+      const guard::HealthReport report = monitor.evaluate(sig);
+      last_iter_healthy = !report.has_error();
+      if (!report.ok()) {
+        for (const guard::HealthVerdict& v : report.verdicts) {
+          (v.severity == guard::Severity::kError ? guard_errors : guard_warns)
+              .inc();
+          if (obs::trace_active()) {
+            obs::trace_event("guard_event")
+                .kv("kind", "verdict")
+                .kv("iter", iter_)
+                .kv("check", guard::check_name(v.check))
+                .kv("severity", guard::severity_name(v.severity))
+                .kv("value", v.value)
+                .kv("threshold", v.threshold)
+                .kv("detail", v.detail);
+          }
+        }
+        A3CS_LOG(WARN) << "guard: iteration " << iter_
+                       << " unhealthy: " << report.summary();
+      }
+      const guard::GuardAction action = guard_policy.decide(report);
+      if (action != guard::GuardAction::kNone && obs::trace_active()) {
+        obs::trace_event("guard_event")
+            .kv("kind", guard::guard_action_name(action))
+            .kv("iter", iter_)
+            .kv("streak",
+                static_cast<std::int64_t>(guard_policy.error_streak()))
+            .kv("rollbacks",
+                static_cast<std::int64_t>(guard_policy.rollbacks()))
+            .kv("detail", report.summary());
+      }
+      if (action == guard::GuardAction::kSkip) {
+        // The actual veto already happened inside one_iteration (heal mode
+        // zeroes a non-finite batch before the optimizer steps); the skip
+        // rung only accounts for it here.
+        guard_skips.inc();
+      } else if (action == guard::GuardAction::kSoften) {
+        guard_softens.inc();
+        soften_scale *= guard_cfg.soften_lr_scale;
+        soften_until = iter_ + guard_cfg.soften_cooldown_iters;
+        alpha_opt_.set_learning_rate(cfg_.alpha_lr * soften_scale);
+        const double tau =
+            std::min(cfg_.supernet.tau_init,
+                     supernet_->temperature() * guard_cfg.soften_tau_boost);
+        supernet_->set_temperature(tau);
+        A3CS_LOG(WARN) << "guard: soften at iteration " << iter_
+                       << " (lr scale " << soften_scale << ", tau " << tau
+                       << ", cooldown until iteration " << soften_until
+                       << ")";
+      } else if (action == guard::GuardAction::kRollback) {
+        bool rolled = false;
+        if (ckpt_mgr) {
+          ckpt::SectionReader reader;
+          int fallbacks = 0;
+          const std::int64_t at = ckpt_mgr->load_newest_valid(
+              &reader, &fallbacks, /*require_healthy=*/true);
+          if (at >= 0) {
+            const std::int64_t from_iter = iter_;
+            restore_checkpoint(reader);
+            // Stale tips newer than the restore point are by construction
+            // unhealthy (or about to be shadowed); drop them so they can
+            // never win a later newest-first scan.
+            ckpt_mgr->remove_newer_than(at);
+            guard_policy.on_rollback();
+            monitor.reset();
+            // Distinct reseed per rollback: replaying the restored state
+            // with its restored RNG streams would deterministically walk
+            // into the same divergence again.
+            const std::uint64_t salt =
+                0x9E3779B97F4A7C15ULL *
+                static_cast<std::uint64_t>(guard_policy.rollbacks());
+            collector_.reseed((cfg_.seed + 2) ^ salt);
+            supernet_->reseed_sampler(cfg_.supernet.sample_seed ^ salt);
+            if (cfg_.hardware_aware) das_->reseed(cfg_.das.seed ^ salt);
+            soften_scale = 1.0;
+            soften_until = -1;
+            alpha_opt_.set_learning_rate(cfg_.alpha_lr);
+            last_iter_healthy = true;
+            guard_rollbacks.inc();
+            ckpt_restores.inc();
+            rolled = true;
+            A3CS_LOG(WARN) << "guard: rolled back from iteration "
+                           << from_iter << " to healthy checkpoint "
+                           << ckpt_mgr->path_for(at) << " (rollback "
+                           << guard_policy.rollbacks() << " of "
+                           << guard_cfg.max_rollbacks << ", reseeded)";
+            if (obs::trace_active()) {
+              obs::trace_event("guard_event")
+                  .kv("kind", "rollback_done")
+                  .kv("from_iter", from_iter)
+                  .kv("iter", iter_)
+                  .kv("fallbacks", static_cast<std::int64_t>(fallbacks))
+                  .kv("rollbacks",
+                      static_cast<std::int64_t>(guard_policy.rollbacks()));
+            }
+          }
+        }
+        if (!rolled) {
+          abort_run("no healthy checkpoint to roll back to: " +
+                    report.summary());
+        }
+        continue;
+      } else if (action == guard::GuardAction::kAbort) {
+        abort_run(report.summary());
+      }
     }
 
     while (collector_.frames() >= next_tau_decay_) {

@@ -23,6 +23,7 @@
 #include "arcade/vec_env.h"
 #include "ckpt/manager.h"
 #include "das/das.h"
+#include "guard/policy.h"
 #include "nas/supernet.h"
 #include "nn/actor_critic.h"
 #include "obs/obs_config.h"
@@ -62,6 +63,14 @@ struct CoSearchConfig {
   // A3CS_CKPT_EVERY_ITERS, ...) override these at run(); see
   // docs/CHECKPOINTING.md. A resumed run continues bit-exactly.
   ckpt::CkptConfig ckpt;
+  // Training-health watchdog: per-iteration divergence detection plus the
+  // skip -> soften -> rollback -> abort escalation ladder. A3CS_GUARD*
+  // environment variables override these at run(); see docs/ROBUSTNESS.md.
+  // The default mode (kWarn) observes, counts and traces but never acts, so
+  // healthy runs are bit-identical with the guard on or off. The rollback
+  // rung needs checkpointing enabled; without it the ladder degrades
+  // straight to abort once the skip/soften budgets are spent.
+  guard::GuardConfig guard;
 };
 
 // Everything one co-search iteration produced, for tracing/diagnostics.
@@ -72,6 +81,14 @@ struct IterStats {
   double das_cost = 0.0;        // last sampled L_cost of the DAS step
   bool hw_valid = false;        // hw filled (hardware-aware alpha turns only)
   accel::HwEval hw;             // predictor eval of hw(phi*) on sampled net
+  // Health signals of this iteration (inputs to guard::HealthMonitor).
+  double grad_norm = 0.0;       // fused pre-clip global gradient norm
+  bool grad_finite = true;      // every gradient element finite
+  double param_norm = 0.0;      // fused post-update global parameter norm
+  bool param_finite = true;     // every parameter element finite
+  double value_abs_max = 0.0;   // max |V(s)| over the rollout batch
+  double rollout_ms = 0.0;      // rollout wall time (env-stall watchdog)
+  bool update_skipped = false;  // heal mode dropped this batch's update
 };
 
 struct CoSearchResult {
@@ -117,7 +134,10 @@ class CoSearchEngine {
   // `eval_out` (if non-null) receives the hw(phi*) evaluation it was
   // computed from.
   double apply_cost_penalty_to_alpha(accel::HwEval* eval_out);
-  IterStats one_iteration(bool update_theta, bool update_alpha);
+  // `heal` = guard mode kHeal: a non-finite loss or gradient zeroes ALL
+  // gradients (theta and alpha) and skips both optimizer steps, so one
+  // poisoned batch cannot write NaNs into the weights.
+  IterStats one_iteration(bool update_theta, bool update_alpha, bool heal);
 
   CoSearchConfig cfg_;
   std::string game_title_;

@@ -72,6 +72,10 @@ class DasEngine {
   double temperature() const { return tau_; }
   const AcceleratorSpace& space() const { return space_; }
 
+  // Replaces the sampling RNG stream (guard rollback reseed; see
+  // docs/ROBUSTNESS.md).
+  void reseed(std::uint64_t seed_value) { rng_.reseed(seed_value); }
+
   // Best configuration sampled so far (the search evaluates thousands of
   // candidates; keeping the incumbent makes DAS strictly budget-comparable
   // to best-of-N sampling).

@@ -1,0 +1,120 @@
+#include "guard/fault.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/config.h"
+#include "util/logging.h"
+
+namespace a3cs::guard {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNanGrad: return "nan_grad";
+    case FaultKind::kInfLoss: return "inf_loss";
+    case FaultKind::kNanParam: return "nan_param";
+    case FaultKind::kStallEnv: return "stall_env";
+    case FaultKind::kTruncCkpt: return "trunc_ckpt";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::arm(FaultKind kind, std::int64_t at_iter, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.push_back(Armed{kind, at_iter, count, 0});
+}
+
+namespace {
+
+// "I" or "I:N" -> (iter, count); count defaults to 1. Returns false when the
+// variable is unset or unparsable.
+bool parse_fault_spec(const char* env_name, std::int64_t* iter, int* count) {
+  const std::string spec = util::env_string(env_name, "");
+  if (spec.empty()) return false;
+  char* end = nullptr;
+  const long long at = std::strtoll(spec.c_str(), &end, 10);
+  if (end == spec.c_str() || at < 0) return false;
+  long long n = 1;
+  if (*end == ':') {
+    const char* count_begin = end + 1;
+    n = std::strtoll(count_begin, &end, 10);
+    if (end == count_begin || n < 1) return false;
+  }
+  if (*end != '\0') return false;
+  *iter = at;
+  *count = static_cast<int>(n);
+  return true;
+}
+
+}  // namespace
+
+void FaultInjector::arm_from_env() {
+  static constexpr struct {
+    const char* env;
+    FaultKind kind;
+  } kSpecs[] = {
+      {"A3CS_FAULT_NAN_GRAD", FaultKind::kNanGrad},
+      {"A3CS_FAULT_INF_LOSS", FaultKind::kInfLoss},
+      {"A3CS_FAULT_NAN_PARAM", FaultKind::kNanParam},
+      {"A3CS_FAULT_STALL_ENV", FaultKind::kStallEnv},
+      {"A3CS_FAULT_TRUNC_CKPT", FaultKind::kTruncCkpt},
+  };
+  for (const auto& spec : kSpecs) {
+    std::int64_t at = 0;
+    int count = 1;
+    if (parse_fault_spec(spec.env, &at, &count)) {
+      A3CS_LOG(WARN) << "fault injection armed from " << spec.env << ": "
+                     << fault_kind_name(spec.kind) << " at iteration " << at
+                     << " x" << count;
+      arm(spec.kind, at, count);
+    }
+  }
+  set_stall_ms(util::env_double("A3CS_FAULT_STALL_MS", stall_ms()));
+}
+
+bool FaultInjector::should_fire(FaultKind kind, std::int64_t iter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Armed& a : armed_) {
+    if (a.kind != kind || iter < a.at_iter || a.fired >= a.count) continue;
+    ++a.fired;
+    ++total_fired_;
+    static obs::Counter& injected =
+        obs::MetricsRegistry::global().counter("guard.faults_injected");
+    injected.inc();
+    A3CS_LOG(WARN) << "injecting fault " << fault_kind_name(kind)
+                   << " at iteration " << iter << " (" << a.fired << "/"
+                   << a.count << ")";
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::stall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_ms_;
+}
+
+void FaultInjector::set_stall_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_ms_ = ms;
+}
+
+std::int64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fired_;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  total_fired_ = 0;
+  stall_ms_ = 50.0;
+}
+
+}  // namespace a3cs::guard

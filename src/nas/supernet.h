@@ -51,6 +51,11 @@ class Supernet : public nn::Module {
   // are disabled.
   void set_argmax_mode(bool on);
 
+  // Replaces the Gumbel sampler's RNG stream. Used by the guard's rollback
+  // path: the healed replay must explore different single-path samples
+  // instead of deterministically re-diverging into the same failure.
+  void reseed_sampler(std::uint64_t seed_value) { sampler_.reseed(seed_value); }
+
   int feature_dim() const { return geometry_.feature_dim; }
   int num_cells() const { return static_cast<int>(cells_.size()); }
   const SpaceGeometry& geometry() const { return geometry_; }

@@ -33,13 +33,53 @@ void copy_parameters(Module& src, Module& dst) {
   }
 }
 
-float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+namespace {
+
+NormStats tensor_set_norm_stats(const std::vector<Parameter*>& params,
+                                bool grads) {
   double total = 0.0;
   for (const Parameter* p : params) {
-    const float n = p->grad.norm();
-    total += static_cast<double>(n) * n;
+    const tensor::Tensor& t = grads ? p->grad : p->value;
+    const float* data = t.data();
+    const std::int64_t n = t.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(data[i]);
+      total += v * v;
+    }
   }
-  const float norm = static_cast<float>(std::sqrt(total));
+  NormStats out;
+  out.norm = std::sqrt(total);
+  // NaN propagates through the sum and Inf saturates it, so the finiteness
+  // of the accumulator IS the finiteness of the whole set.
+  out.finite = std::isfinite(out.norm);
+  return out;
+}
+
+}  // namespace
+
+NormStats grad_norm_stats(const std::vector<Parameter*>& params) {
+  return tensor_set_norm_stats(params, /*grads=*/true);
+}
+
+NormStats param_norm_stats(const std::vector<Parameter*>& params) {
+  return tensor_set_norm_stats(params, /*grads=*/false);
+}
+
+void zero_gradients(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.zero();
+}
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  const NormStats stats = grad_norm_stats(params);
+  const float norm = static_cast<float>(stats.norm);
+  if (!stats.finite) {
+    // A non-finite norm means at least one gradient element is NaN/Inf;
+    // scaling by max_norm/norm would spread the poison to EVERY element and
+    // the optimizer would then corrupt every weight. Zero the batch instead
+    // and surface the raw norm to the caller.
+    zero_gradients(params);
+    return norm;
+  }
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (Parameter* p : params) p->grad *= scale;

@@ -66,7 +66,27 @@ class Module {
 // matching is positional, which is stable for identically-built networks).
 void copy_parameters(Module& src, Module& dst);
 
-// Global L2-norm gradient clipping; returns the pre-clip norm.
+// Global L2 norm plus finiteness of a parameter set, computed in ONE fused
+// pass over the raw buffers: a single NaN/Inf element makes the squared-sum
+// accumulator non-finite (double cannot overflow on float squares at any
+// realistic element count), so `finite` falls out of the same loop that
+// computes the norm — no separate per-element isfinite sweep.
+struct NormStats {
+  double norm = 0.0;    // sqrt(sum of squares); NaN/Inf when !finite
+  bool finite = true;   // every element finite
+};
+NormStats grad_norm_stats(const std::vector<Parameter*>& params);
+NormStats param_norm_stats(const std::vector<Parameter*>& params);
+
+// Zeroes every gradient buffer (the "skip-and-zero" primitive of the
+// training-health guard).
+void zero_gradients(const std::vector<Parameter*>& params);
+
+// Global L2-norm gradient clipping; returns the pre-clip norm. A non-finite
+// pre-clip norm (any NaN/Inf gradient element) ZEROES all gradients — the
+// subsequent optimizer step becomes a no-op instead of poisoning every
+// weight — and the raw non-finite norm is returned so callers can observe
+// and report the event (see docs/ROBUSTNESS.md).
 float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
 
 }  // namespace a3cs::nn

@@ -1,7 +1,11 @@
 #include "rl/a2c.h"
 
+#include <limits>
+
+#include "guard/health.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -84,12 +88,47 @@ UpdateStats a2c_update(nn::ActorCriticNet& net, const Rollout& rollout,
   UpdateStats stats;
   const HeadGradients grads = task_loss(in, coef, &stats.loss);
 
-  net.zero_grad();
-  net.backward(grads.dlogits, grads.dvalue);
+  static obs::Counter& skips =
+      obs::MetricsRegistry::global().counter("guard.a2c_skips");
+  static obs::Gauge& grad_norm_gauge =
+      obs::MetricsRegistry::global().gauge("train.grad_norm");
+  static obs::Gauge& param_norm_gauge =
+      obs::MetricsRegistry::global().gauge("train.param_norm");
+
   auto params = net.parameters();
-  stats.grad_norm =
+  const guard::HealthVerdict loss_verdict = guard::check_finite(
+      guard::Check::kLossFinite, stats.loss.total, "a2c loss");
+  if (loss_verdict.severity == guard::Severity::kError) {
+    // The head gradients are built from the same poisoned terms; dropping
+    // the batch before backward keeps the accumulated grads clean.
+    net.zero_grad();
+    stats.skipped = true;
+    stats.grad_norm = std::numeric_limits<float>::quiet_NaN();
+  } else {
+    net.zero_grad();
+    net.backward(grads.dlogits, grads.dvalue);
+    const nn::NormStats grad_stats = nn::grad_norm_stats(params);
+    stats.grad_norm = static_cast<float>(grad_stats.norm);
+    if (!grad_stats.finite) {
+      nn::zero_gradients(params);
+      stats.skipped = true;
+    } else {
       nn::clip_grad_norm(params, static_cast<float>(cfg.grad_clip));
-  opt.step(params);
+      opt.step(params);
+    }
+  }
+  if (stats.skipped) {
+    skips.inc();
+    if (obs::trace_active()) {
+      obs::trace_event("guard_event")
+          .kv("kind", "a2c_skip")
+          .kv("loss_total", stats.loss.total)
+          .kv("grad_norm", static_cast<double>(stats.grad_norm));
+    }
+  }
+  stats.param_norm = static_cast<float>(nn::param_norm_stats(params).norm);
+  grad_norm_gauge.set(stats.grad_norm);
+  param_norm_gauge.set(stats.param_norm);
   return stats;
 }
 

@@ -41,12 +41,22 @@ LossCoefficients no_distill_coefficients();
 
 struct UpdateStats {
   LossStats loss;
-  float grad_norm = 0.0f;
+  float grad_norm = 0.0f;   // pre-clip fused global norm (NaN when skipped)
+  float param_norm = 0.0f;  // post-step fused global parameter norm
+  // The guarded update dropped this batch: a loss term or the gradient norm
+  // was non-finite, the gradients were zeroed and the optimizer not stepped.
+  bool skipped = false;
 };
 
 // One A2C update from a collected rollout: forwards the stacked batch,
 // computes targets and head gradients (with optional teacher), backprops and
 // steps `opt`. Exposed separately so the co-search loop can wrap it.
+//
+// The update is GUARDED: a non-finite loss term or gradient norm zeroes the
+// gradients and skips the optimizer step (stats.skipped), so one poisoned
+// batch costs one update instead of the whole run; the pre-clip gradient
+// norm and post-step parameter norm land in the train.grad_norm /
+// train.param_norm gauges either way (see docs/ROBUSTNESS.md).
 UpdateStats a2c_update(nn::ActorCriticNet& net, const Rollout& rollout,
                        const A2cConfig& cfg, nn::Optimizer& opt,
                        nn::ActorCriticNet* teacher);

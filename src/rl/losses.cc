@@ -7,6 +7,23 @@
 
 namespace a3cs::rl {
 
+namespace {
+
+// Log-probability floor: log(1e-8). Degenerate logits (one-hot rows with a
+// spread beyond float's exp range) drive individual probabilities to exact 0
+// and their log-softmax towards -inf; every term that multiplies or sums a
+// log-probability clamps to this floor so the loss and its gradients stay
+// finite instead of propagating -inf/NaN into the update (the entropy term's
+// 0 * -inf is the classic silent NaN source). Probabilities >= 1e-8 are
+// untouched, so healthy batches are numerically unaffected.
+constexpr float kMinLogProb = -18.420681f;
+
+inline float safe_log_prob(float lp) {
+  return lp < kMinLogProb ? kMinLogProb : lp;
+}
+
+}  // namespace
+
 HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
                         LossStats* stats) {
   A3CS_CHECK(in.logits && in.values && in.actions && in.advantages &&
@@ -55,12 +72,13 @@ HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
     // Negative entropy sum_j pi log pi of this row (paper's L_entropy).
     double neg_ent = 0.0;
     for (int j = 0; j < a; ++j) {
-      neg_ent += static_cast<double>(probs.at2(i, j)) * log_probs.at2(i, j);
+      neg_ent += static_cast<double>(probs.at2(i, j)) *
+                 safe_log_prob(log_probs.at2(i, j));
     }
 
     for (int j = 0; j < a; ++j) {
       const float p = probs.at2(i, j);
-      const float lp = log_probs.at2(i, j);
+      const float lp = safe_log_prob(log_probs.at2(i, j));
       float g = 0.0f;
       // Policy gradient: L_policy = -adv * log pi(a|s).
       g += adv * (p - (j == act ? 1.0f : 0.0f));
@@ -84,7 +102,7 @@ HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
     out.dvalue.at2(i, 0) = gv * inv_b;
 
     // Scalar losses (per-sample averages accumulated below).
-    s.policy += -static_cast<double>(adv) * log_probs.at2(i, act);
+    s.policy += -static_cast<double>(adv) * safe_log_prob(log_probs.at2(i, act));
     s.value += 0.5 * static_cast<double>(v - ret) * (v - ret);
     s.entropy += -neg_ent;
     if (coef.distill_actor != 0.0) {
@@ -92,7 +110,8 @@ HeadGradients task_loss(const LossInputs& in, const LossCoefficients& coef,
       for (int j = 0; j < a; ++j) {
         const double q = in.teacher_probs->at2(i, j);
         if (q > 1e-8) {
-          kl += q * (std::log(q) - static_cast<double>(log_probs.at2(i, j)));
+          kl += q * (std::log(q) -
+                     static_cast<double>(safe_log_prob(log_probs.at2(i, j))));
         }
       }
       s.distill_actor += kl;

@@ -47,6 +47,10 @@ class RolloutCollector {
   void save_state(std::ostream& out) const;
   void load_state(std::istream& in);
 
+  // Replaces the action-sampling RNG stream (guard rollback: a healed replay
+  // samples a different trajectory than the one that diverged).
+  void reseed(std::uint64_t seed_value) { rng_.reseed(seed_value); }
+
  private:
   VecEnv& envs_;
   util::Rng rng_;

@@ -203,6 +203,25 @@ TEST(SectionFile, DetectsPayloadCorruptionAndTruncation) {
   EXPECT_THROW(ckpt::SectionReader{bytes + "zz"}, ckpt::CkptError);
 }
 
+TEST(SectionFile, HealthTagRoundTrips) {
+  ckpt::SectionWriter w;
+  w.add_section("s", "payload");
+  EXPECT_TRUE(w.healthy());
+  {
+    ckpt::SectionReader r(w.encode());
+    EXPECT_TRUE(r.healthy());
+    EXPECT_EQ(r.format_version(), ckpt::kCkptFormatVersion);
+  }
+  w.set_healthy(false);
+  {
+    ckpt::SectionReader r(w.encode());
+    EXPECT_FALSE(r.healthy());
+  }
+  // Clearing the tag must not affect structural validity.
+  w.set_healthy(true);
+  EXPECT_TRUE(ckpt::SectionReader(w.encode()).healthy());
+}
+
 // -------------------------------------------------------------- manager
 
 ckpt::SectionWriter tiny_writer(int marker) {
@@ -245,6 +264,65 @@ TEST(CheckpointManager, LoadNewestValidFallsBackPastTruncatedTip) {
   EXPECT_EQ(fallbacks, 1);
   auto in = reader.stream("m");
   EXPECT_EQ(sio::get_i32(in), 2);
+  fs::remove_all(cfg.dir);
+}
+
+ckpt::SectionWriter tagged_writer(int marker, bool healthy) {
+  ckpt::SectionWriter w = tiny_writer(marker);
+  w.set_healthy(healthy);
+  return w;
+}
+
+TEST(CheckpointManager, RequireHealthySkipsUnhealthyTips) {
+  ckpt::CkptConfig cfg;
+  cfg.dir = temp_dir("healthy");
+  cfg.keep = 4;
+  ckpt::CheckpointManager mgr(cfg);
+  mgr.commit(1, tagged_writer(1, true));
+  mgr.commit(2, tagged_writer(2, false));
+  mgr.commit(3, tagged_writer(3, false));
+
+  // The plain crash-resume scan restores the newest tip regardless...
+  ckpt::SectionReader reader;
+  EXPECT_EQ(mgr.load_newest_valid(&reader), 3);
+  EXPECT_FALSE(reader.healthy());
+  // ...but the guard's rollback path must fall back past BOTH unhealthy
+  // tips to the older healthy checkpoint.
+  int fallbacks = -1;
+  EXPECT_EQ(mgr.load_newest_valid(&reader, &fallbacks,
+                                  /*require_healthy=*/true),
+            1);
+  EXPECT_EQ(fallbacks, 2);
+  EXPECT_TRUE(reader.healthy());
+  auto in = reader.stream("m");
+  EXPECT_EQ(sio::get_i32(in), 1);
+  fs::remove_all(cfg.dir);
+}
+
+TEST(CheckpointManager, RequireHealthyWithNoHealthyCheckpointReturnsMinusOne) {
+  ckpt::CkptConfig cfg;
+  cfg.dir = temp_dir("all_unhealthy");
+  ckpt::CheckpointManager mgr(cfg);
+  mgr.commit(1, tagged_writer(1, false));
+  mgr.commit(2, tagged_writer(2, false));
+  ckpt::SectionReader reader;
+  EXPECT_EQ(mgr.load_newest_valid(&reader, nullptr, /*require_healthy=*/true),
+            -1);
+  EXPECT_EQ(mgr.load_newest_valid(&reader), 2);  // plain scan still works
+  fs::remove_all(cfg.dir);
+}
+
+TEST(CheckpointManager, RemoveNewerThanDropsStaleTips) {
+  ckpt::CkptConfig cfg;
+  cfg.dir = temp_dir("remove_newer");
+  cfg.keep = 5;
+  ckpt::CheckpointManager mgr(cfg);
+  mgr.commit(1, tiny_writer(1));
+  mgr.commit(2, tiny_writer(2));
+  mgr.commit(3, tiny_writer(3));
+  EXPECT_EQ(mgr.remove_newer_than(1), 2);
+  EXPECT_EQ(mgr.list(), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(mgr.remove_newer_than(5), 0);
   fs::remove_all(cfg.dir);
 }
 

@@ -314,6 +314,102 @@ TEST(TaskLoss, PerfectTeacherMatchGivesZeroDistillGradient) {
   EXPECT_NEAR(stats.distill_critic, 0.0, 1e-6);
 }
 
+TEST(TaskLoss, OneHotLogitsStayFinite) {
+  // A collapsed policy: one logit dominates by more than float's exp range,
+  // driving the other probabilities to exact 0 and their log-softmax to
+  // -inf. Every loss term and every gradient must stay finite (regression
+  // for the 0 * -inf NaN in the entropy term and the -inf policy term when
+  // the taken action has zero probability).
+  Tensor logits(Shape::mat(2, 4));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) logits[i] = -200.0f;
+  logits.at2(0, 1) = 200.0f;
+  logits.at2(1, 3) = 200.0f;
+  Tensor values(Shape::mat(2, 1), {0.5f, -0.5f});
+  std::vector<int> actions = {0, 3};  // row 0 took a zero-probability action
+  std::vector<float> adv = {1.5f, -0.5f};
+  std::vector<float> ret = {1.0f, 0.0f};
+
+  rl::LossCoefficients coef;
+  coef.entropy_beta = 0.01;
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &adv;
+  in.returns = &ret;
+  rl::LossStats stats;
+  const auto grads = rl::task_loss(in, coef, &stats);
+  EXPECT_TRUE(std::isfinite(stats.total)) << stats.total;
+  EXPECT_TRUE(std::isfinite(stats.policy)) << stats.policy;
+  EXPECT_TRUE(std::isfinite(stats.entropy)) << stats.entropy;
+  for (std::int64_t i = 0; i < grads.dlogits.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(grads.dlogits[i])) << "dlogit " << i;
+  }
+  for (std::int64_t i = 0; i < grads.dvalue.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(grads.dvalue[i])) << "dvalue " << i;
+  }
+}
+
+TEST(TaskLoss, OneHotTeacherDistillationStaysFinite) {
+  // A (near) one-hot TEACHER against a collapsed student: the KL term sums
+  // q * (log q - log p) where log p would be -inf without the clamp.
+  Tensor logits(Shape::mat(1, 3));
+  logits.at2(0, 0) = 200.0f;
+  logits.at2(0, 1) = -200.0f;
+  logits.at2(0, 2) = -200.0f;
+  Tensor tea_probs(Shape::mat(1, 3), {0.0f, 1.0f, 0.0f});
+  Tensor values(Shape::mat(1, 1), {0.1f});
+  Tensor tea_values(Shape::mat(1, 1), {0.2f});
+  std::vector<int> actions = {0};
+  std::vector<float> adv = {0.5f}, ret = {0.3f};
+
+  rl::LossCoefficients coef;
+  coef.entropy_beta = 0.01;
+  coef.distill_actor = 0.1;
+  coef.distill_critic = 0.001;
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &adv;
+  in.returns = &ret;
+  in.teacher_probs = &tea_probs;
+  in.teacher_values = &tea_values;
+  rl::LossStats stats;
+  const auto grads = rl::task_loss(in, coef, &stats);
+  EXPECT_TRUE(std::isfinite(stats.total)) << stats.total;
+  EXPECT_TRUE(std::isfinite(stats.distill_actor)) << stats.distill_actor;
+  for (std::int64_t i = 0; i < grads.dlogits.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(grads.dlogits[i])) << "dlogit " << i;
+  }
+}
+
+TEST(TaskLoss, AllEqualLogitsMatchUniformEntropy) {
+  // The opposite degenerate shape: a perfectly flat policy. Nothing clamps
+  // here — the entropy must equal log(A) exactly and the gradients must be
+  // finite (guards the clamp threshold against being set too high).
+  const int a = 5;
+  Tensor logits(Shape::mat(1, a));  // zeros = all-equal
+  Tensor values(Shape::mat(1, 1), {0.0f});
+  std::vector<int> actions = {2};
+  std::vector<float> adv = {1.0f}, ret = {0.5f};
+
+  rl::LossCoefficients coef;
+  coef.entropy_beta = 0.01;
+  rl::LossInputs in;
+  in.logits = &logits;
+  in.values = &values;
+  in.actions = &actions;
+  in.advantages = &adv;
+  in.returns = &ret;
+  rl::LossStats stats;
+  const auto grads = rl::task_loss(in, coef, &stats);
+  EXPECT_NEAR(stats.entropy, std::log(static_cast<double>(a)), 1e-6);
+  for (std::int64_t i = 0; i < grads.dlogits.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(grads.dlogits[i])) << "dlogit " << i;
+  }
+}
+
 TEST(Coefficients, PaperValues) {
   const auto c = rl::paper_distill_coefficients();
   EXPECT_DOUBLE_EQ(c.entropy_beta, 1e-2);
