@@ -3,6 +3,11 @@
 #
 #   bench/run_sanitized.sh              # address+undefined (default)
 #   A3CS_SANITIZE=thread bench/run_sanitized.sh
+#   A3CS_SANITIZE=undefined bench/run_sanitized.sh   # UBSan-only, numeric slice
+#
+# Every pass starts with the a3cs-lint stage (see docs/STATIC_ANALYSIS.md) so
+# invariant violations fail fast before any sanitizer compile, and builds with
+# -DA3CS_WERROR=ON so warnings fail too.
 #
 # The default ASan/UBSan pass covers the util + obs layers (atomic metrics,
 # the shared trace writer, the profiler's thread-local cursors), the
@@ -14,7 +19,9 @@
 # every kernel and subsystem that dispatches onto it (GEMM/im2col, VecEnv
 # stepping, the top-K NAS backward) and the guard's cross-thread pieces
 # (the global FaultInjector, the metrics it bumps), run with A3CS_THREADS=4
-# so the pool actually fans out.
+# so the pool actually fans out. The standalone UBSan pass sweeps the
+# numeric layers — tensor kernels, nn layers/optimizers, the NAS/DAS/accel
+# math — where signed overflow and bad float casts would hide.
 set -eu
 
 SAN="${A3CS_SANITIZE:-address}"
@@ -29,14 +36,24 @@ if [ "$SAN" = "thread" ]; then
   GUARD_FILTER="-*Stall*"
   export A3CS_THREADS="${A3CS_THREADS:-4}"
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+elif [ "$SAN" = "undefined" ]; then
+  TESTS="tensor_test nn_layers_test nn_optim_test nn_zoo_test rl_test nas_test accel_test das_test core_test"
+  GUARD_FILTER=""
 else
   TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test"
   GUARD_FILTER=""
   SMOKE="cosearch_full"
 fi
 
+cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" -DA3CS_WERROR=ON >/dev/null
+
+# Lint first: a determinism/serialization/concurrency violation fails the
+# run before we spend minutes on instrumented compiles.
+echo "== a3cs_lint =="
+cmake --build "$BUILD" -j "$(nproc)" --target a3cs_lint >/dev/null
+"$BUILD/tools/a3cs_lint/a3cs_lint" --repo-root "$ROOT"
+
 # shellcheck disable=SC2086
-cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target $TESTS $SMOKE
 
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"

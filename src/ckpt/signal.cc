@@ -1,12 +1,13 @@
 #include "ckpt/signal.h"
 
+#include <atomic>
 #include <csignal>
 
 namespace a3cs::ckpt {
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-int g_guard_depth = 0;
+std::atomic<int> g_guard_depth{0};
 
 #ifndef _WIN32
 struct sigaction g_prev_int;
@@ -21,7 +22,8 @@ extern "C" void a3cs_ckpt_stop_handler(int) { g_stop = 1; }
 }  // namespace
 
 StopSignalGuard::StopSignalGuard() {
-  if (g_guard_depth++ > 0) return;  // outermost guard owns the handlers
+  // outermost guard owns the handlers
+  if (g_guard_depth.fetch_add(1, std::memory_order_acq_rel) > 0) return;
 #ifndef _WIN32
   struct sigaction sa = {};
   sa.sa_handler = a3cs_ckpt_stop_handler;
@@ -36,7 +38,7 @@ StopSignalGuard::StopSignalGuard() {
 }
 
 StopSignalGuard::~StopSignalGuard() {
-  if (--g_guard_depth > 0) return;
+  if (g_guard_depth.fetch_sub(1, std::memory_order_acq_rel) > 1) return;
 #ifndef _WIN32
   sigaction(SIGINT, &g_prev_int, nullptr);
   sigaction(SIGTERM, &g_prev_term, nullptr);

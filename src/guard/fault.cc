@@ -21,6 +21,8 @@ const char* fault_kind_name(FaultKind k) {
 }
 
 FaultInjector& FaultInjector::global() {
+  // Leaked singleton: magic-static init is thread-safe, the pointer is never
+  // reassigned, and all mutation goes through mu_. A3CS_LINT(conc-static-local)
   static FaultInjector* injector = new FaultInjector();
   return *injector;
 }

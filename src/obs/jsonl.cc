@@ -80,6 +80,10 @@ class JsonParser {
   }
 
   JsonValue parse_object() {
+    // Members land in a std::map, so re-serialized or iterated objects are
+    // always key-sorted — byte-stable regardless of source order (the same
+    // determinism contract a3cs-lint's det-unordered-iter rule enforces on
+    // the writer side).
     expect('{');
     JsonValue v;
     v.kind_ = JsonValue::Kind::kObject;

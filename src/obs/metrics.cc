@@ -45,6 +45,8 @@ void Histogram::reset() {
 }
 
 MetricsRegistry& MetricsRegistry::global() {
+  // Leaked singleton: magic-static init is thread-safe, the pointer is never
+  // reassigned, and all mutation goes through mu_. A3CS_LINT(conc-static-local)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

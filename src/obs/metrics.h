@@ -10,6 +10,12 @@
 // Snapshots are consistent-enough point-in-time copies (each value is read
 // atomically; the set of metrics is read under the registry lock) intended
 // for end-of-run reporting, not for lock-step invariants across metrics.
+//
+// Ordering invariant: the registry stores metrics in std::map (never an
+// unordered container), so snapshot(), print() and every JSONL emission
+// that iterates a snapshot walk keys in sorted order and produce
+// byte-stable output across runs and thread counts. a3cs-lint's
+// det-unordered-iter rule enforces this (docs/STATIC_ANALYSIS.md).
 #pragma once
 
 #include <atomic>

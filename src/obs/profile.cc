@@ -18,6 +18,8 @@ thread_local Profiler::Node* t_cursor = nullptr;
 Profiler::Profiler() : root_{"", nullptr, {}, {}, {}} {}
 
 Profiler& Profiler::global() {
+  // Leaked singleton: magic-static init is thread-safe, the pointer is never
+  // reassigned, and all mutation goes through mu_. A3CS_LINT(conc-static-local)
   static Profiler* profiler = new Profiler();
   return *profiler;
 }

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "util/config.h"
@@ -136,6 +137,13 @@ std::vector<ThreadPool::LabelStat> ThreadPool::label_stats() const {
     out.push_back({label, slot.regions.load(std::memory_order_relaxed),
                    slot.tasks.load(std::memory_order_relaxed)});
   }
+  // Slots are claimed in first-use order, which depends on which subsystem
+  // hits the pool first; sort so metric/trace emission downstream is
+  // byte-stable across runs (docs/STATIC_ANALYSIS.md, det-unordered-iter).
+  std::sort(out.begin(), out.end(),
+            [](const LabelStat& a, const LabelStat& b) {
+              return std::strcmp(a.label, b.label) < 0;
+            });
   return out;
 }
 

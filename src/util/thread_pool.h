@@ -77,7 +77,9 @@ class ThreadPool {
   }
 
   // Per-phase task accounting, keyed by string literal. Slots are claimed on
-  // first use; at most kMaxLabels distinct labels are tracked.
+  // first use; at most kMaxLabels distinct labels are tracked. The returned
+  // stats are sorted by label so downstream metric/trace emission is
+  // byte-stable regardless of which subsystem touched the pool first.
   static constexpr int kMaxLabels = 16;
   struct LabelStat {
     const char* label = nullptr;

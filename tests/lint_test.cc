@@ -1,0 +1,296 @@
+// Tests for the a3cs-lint rule engine (tools/a3cs_lint). Fixtures under
+// tools/a3cs_lint/fixtures/ are linted through lint_source() with *virtual*
+// paths, so one fixture exercises both sides of a path-scoped rule (e.g.
+// det-wall-clock fires under src/nn/ but not bench/). The baseline
+// suppression path goes through the real a3cs_lint binary (A3CS_LINT_BIN)
+// against a throwaway tree, mirroring how ckpt_resume_test drives ckpt_run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using a3cs_lint::Finding;
+using a3cs_lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const fs::path p = fs::path(A3CS_LINT_FIXTURES) / name;
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lints fixture `name` as if it lived at repo-relative `virtual_path`.
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& virtual_path) {
+  return lint_source(virtual_path, read_fixture(name));
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : fs) n += (f.rule == rule) ? 1 : 0;
+  return n;
+}
+
+std::string dump(const std::vector<Finding>& fs) {
+  std::ostringstream out;
+  for (const auto& f : fs) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------- determinism ----
+
+TEST(Lint, DetRandFiresOutsideUtil) {
+  const auto fs = lint_fixture("det_rand.cc", "src/rl/sampler.cc");
+  EXPECT_GE(count_rule(fs, "det-rand"), 3) << dump(fs);
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.path, "src/rl/sampler.cc");
+    EXPECT_GT(f.line, 0);
+  }
+}
+
+TEST(Lint, DetRandExemptUnderUtil) {
+  const auto fs = lint_fixture("det_rand.cc", "src/util/rng_extra.cc");
+  EXPECT_EQ(count_rule(fs, "det-rand"), 0) << dump(fs);
+}
+
+TEST(Lint, DetTimeSeedFires) {
+  const auto fs = lint_fixture("det_time_seed.cc", "src/rl/rollout.cc");
+  EXPECT_GE(count_rule(fs, "det-time-seed"), 1) << dump(fs);
+}
+
+TEST(Lint, DetWallClockScopedToNumericDirs) {
+  const auto in_nn = lint_fixture("det_wall_clock.cc", "src/nn/fused.cc");
+  ASSERT_EQ(count_rule(in_nn, "det-wall-clock"), 1) << dump(in_nn);
+  for (const auto& f : in_nn) {
+    if (f.rule == "det-wall-clock") EXPECT_EQ(f.line, 6);
+  }
+  // Timing code in bench/ (and src/obs/) is the sanctioned home for clocks.
+  const auto in_bench = lint_fixture("det_wall_clock.cc", "bench/fused.cc");
+  EXPECT_EQ(count_rule(in_bench, "det-wall-clock"), 0) << dump(in_bench);
+}
+
+TEST(Lint, DetUnorderedIterOnlyInSerializationBodies) {
+  const auto fs = lint_fixture("det_unordered_iter.cc", "src/rl/registry.cc");
+  // One hit in save_state; the keyed lookup and the non-serialized
+  // iteration in the same file must stay silent.
+  EXPECT_EQ(count_rule(fs, "det-unordered-iter"), 1) << dump(fs);
+}
+
+// ----------------------------------------------------- serialization ----
+
+TEST(Lint, SerPairFlagsOneSidedClasses) {
+  const auto fs = lint_fixture("ser_pair.cc", "src/nas/snapshot.cc");
+  ASSERT_EQ(count_rule(fs, "ser-pair"), 2) << dump(fs);
+  bool saw_save_only = false;
+  bool saw_load_only = false;
+  for (const auto& f : fs) {
+    if (f.rule != "ser-pair") continue;
+    saw_save_only |= f.message.find("SaveOnly") != std::string::npos;
+    saw_load_only |= f.message.find("LoadOnly") != std::string::npos;
+    // Paired and CallerOnly must not be named.
+    EXPECT_EQ(f.message.find("Paired"), std::string::npos) << f.message;
+    EXPECT_EQ(f.message.find("CallerOnly"), std::string::npos) << f.message;
+  }
+  EXPECT_TRUE(saw_save_only) << dump(fs);
+  EXPECT_TRUE(saw_load_only) << dump(fs);
+}
+
+TEST(Lint, SerRawIoScopedToSerializationLayers) {
+  const auto in_ckpt = lint_fixture("ser_raw_io.cc", "src/ckpt/header.cc");
+  EXPECT_GE(count_rule(in_ckpt, "ser-raw-io"), 3) << dump(in_ckpt);
+  // Outside src/ckpt/ and src/util/ raw byte IO is someone else's problem.
+  const auto in_rl = lint_fixture("ser_raw_io.cc", "src/rl/header.cc");
+  EXPECT_EQ(count_rule(in_rl, "ser-raw-io"), 0) << dump(in_rl);
+  // The explicit-LE helpers are the one sanctioned home for raw IO.
+  const auto in_sio = lint_fixture("ser_raw_io.cc", "src/util/state_io.cc");
+  EXPECT_EQ(count_rule(in_sio, "ser-raw-io"), 0) << dump(in_sio);
+}
+
+// ------------------------------------------------------- concurrency ----
+
+TEST(Lint, ConcRawThreadFiresOutsideThreadPool) {
+  const auto fs = lint_fixture("conc_thread.cc", "src/das/worker.cc");
+  EXPECT_GE(count_rule(fs, "conc-raw-thread"), 2) << dump(fs);
+  const auto pool =
+      lint_fixture("conc_thread.cc", "src/util/thread_pool.cc");
+  EXPECT_EQ(count_rule(pool, "conc-raw-thread"), 0) << dump(pool);
+}
+
+TEST(Lint, ConcStaticLocalAndMutableGlobal) {
+  const auto fs = lint_fixture("conc_static.cc", "src/obs/stats.cc");
+  ASSERT_EQ(count_rule(fs, "conc-mutable-global"), 1) << dump(fs);
+  ASSERT_EQ(count_rule(fs, "conc-static-local"), 1) << dump(fs);
+  for (const auto& f : fs) {
+    if (f.rule == "conc-mutable-global") EXPECT_EQ(f.line, 10);
+    if (f.rule == "conc-static-local") EXPECT_EQ(f.line, 16);
+  }
+}
+
+// ----------------------------------------------------------- hygiene ----
+
+TEST(Lint, HygPragmaOnceRequiredInHeaders) {
+  const auto fs = lint_fixture("hyg_missing_pragma.h", "src/util/value.h");
+  EXPECT_EQ(count_rule(fs, "hyg-pragma-once"), 1) << dump(fs);
+  // Non-headers are exempt.
+  const auto cc = lint_source("src/util/value.cc",
+                              read_fixture("hyg_missing_pragma.h"));
+  EXPECT_EQ(count_rule(cc, "hyg-pragma-once"), 0) << dump(cc);
+}
+
+TEST(Lint, HygUsingNamespaceInHeader) {
+  const auto fs = lint_fixture("hyg_using_namespace.h", "src/util/names.h");
+  EXPECT_EQ(count_rule(fs, "hyg-using-namespace"), 1) << dump(fs);
+  // A leading comment before #pragma once is fine.
+  EXPECT_EQ(count_rule(fs, "hyg-pragma-once"), 0) << dump(fs);
+}
+
+// ------------------------------------------------------- suppression ----
+
+TEST(Lint, InlineSuppressionSilencesSameLineAndLineAbove) {
+  const auto fs = lint_fixture("suppressed.cc", "src/rl/sampler.cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Lint, SuppressionIsPerRule) {
+  // A marker for the wrong rule must not silence the finding.
+  const auto fs = lint_source(
+      "src/rl/x.cc",
+      "int f() { return rand(); }  // A3CS_LINT(conc-raw-thread)\n");
+  EXPECT_EQ(count_rule(fs, "det-rand"), 1) << dump(fs);
+}
+
+TEST(Lint, CleanFixturePassesEverywhere) {
+  for (const char* vpath : {"src/nn/clean.cc", "src/ckpt/clean.cc",
+                            "src/obs/clean.cc", "tests/clean.cc"}) {
+    const auto fs = lint_fixture("clean.cc", vpath);
+    EXPECT_TRUE(fs.empty()) << vpath << "\n" << dump(fs);
+  }
+}
+
+// ---------------------------------------------------------- catalog ----
+
+TEST(Lint, RuleCatalogSortedAndComplete) {
+  const auto catalog = a3cs_lint::rule_catalog();
+  ASSERT_EQ(catalog.size(), 12u);
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].first, catalog[i].first);
+  }
+}
+
+// ----------------------------------------- A3CK layout fingerprint ----
+
+constexpr const char* kHeaderV3 =
+    "#pragma once\n"
+    "constexpr int kCkptFormatVersion = 3;\n"
+    "struct SectionHeader { int kind; long payload_len; };\n";
+
+TEST(Lint, FingerprintIgnoresCommentsAndWhitespace) {
+  const std::string doc_edit =
+      "#pragma once\n"
+      "// A3CK on-disk layout. Bump kCkptFormatVersion when it changes.\n"
+      "constexpr int kCkptFormatVersion = 3;\n\n"
+      "struct SectionHeader {\n  int kind;\n  long payload_len;\n};\n";
+  EXPECT_EQ(a3cs_lint::layout_fingerprint(kHeaderV3),
+            a3cs_lint::layout_fingerprint(doc_edit));
+  const std::string layout_edit =
+      "#pragma once\n"
+      "constexpr int kCkptFormatVersion = 3;\n"
+      "struct SectionHeader { int kind; long payload_len; int crc; };\n";
+  EXPECT_NE(a3cs_lint::layout_fingerprint(kHeaderV3),
+            a3cs_lint::layout_fingerprint(layout_edit));
+}
+
+TEST(Lint, FingerprintParsesFormatVersion) {
+  EXPECT_EQ(a3cs_lint::parse_format_version(kHeaderV3), 3);
+  EXPECT_EQ(a3cs_lint::parse_format_version("struct S {};\n"), -1);
+}
+
+TEST(Lint, FingerprintMatchIsClean) {
+  const std::string record = a3cs_lint::render_fingerprint_file(kHeaderV3);
+  const auto fs = a3cs_lint::check_layout_fingerprint("src/ckpt/section_file.h",
+                                                      kHeaderV3, record);
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Lint, FingerprintLayoutChangeWithoutBumpFires) {
+  const std::string record = a3cs_lint::render_fingerprint_file(kHeaderV3);
+  const std::string changed =
+      "#pragma once\n"
+      "constexpr int kCkptFormatVersion = 3;\n"
+      "struct SectionHeader { int kind; long payload_len; int crc; };\n";
+  const auto fs = a3cs_lint::check_layout_fingerprint("src/ckpt/section_file.h",
+                                                      changed, record);
+  ASSERT_EQ(fs.size(), 1u) << dump(fs);
+  EXPECT_EQ(fs[0].rule, "ser-layout-fingerprint");
+}
+
+TEST(Lint, FingerprintBumpWithoutRefreshFires) {
+  const std::string record = a3cs_lint::render_fingerprint_file(kHeaderV3);
+  const std::string bumped =
+      "#pragma once\n"
+      "constexpr int kCkptFormatVersion = 4;\n"
+      "struct SectionHeader { int kind; long payload_len; int crc; };\n";
+  const auto fs = a3cs_lint::check_layout_fingerprint("src/ckpt/section_file.h",
+                                                      bumped, record);
+  ASSERT_EQ(fs.size(), 1u) << dump(fs);
+  EXPECT_EQ(fs[0].rule, "ser-layout-fingerprint");
+}
+
+TEST(Lint, FingerprintMissingRecordFires) {
+  const auto fs = a3cs_lint::check_layout_fingerprint("src/ckpt/section_file.h",
+                                                      kHeaderV3, "");
+  ASSERT_EQ(fs.size(), 1u) << dump(fs);
+  EXPECT_EQ(fs[0].rule, "ser-layout-fingerprint");
+}
+
+// ------------------------------------------- baseline (via binary) ----
+
+// End-to-end: seed a throwaway tree with a violation, confirm the binary
+// fails on it, then confirm a baseline entry restores exit 0.
+TEST(Lint, BaselineFileSilencesThroughDriver) {
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "a3cs_lint_baseline_tree";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "rl");
+  {
+    std::ofstream out(root / "src" / "rl" / "bad.cc");
+    out << "int f() { return rand(); }\n";
+  }
+  const std::string bin = A3CS_LINT_BIN;
+  const std::string base = "\"" + bin + "\" --repo-root \"" + root.string() +
+                           "\" src/rl/bad.cc > /dev/null 2>&1";
+
+  const int without = std::system(("cd / && " + base).c_str());
+  ASSERT_TRUE(WIFEXITED(without));
+  EXPECT_EQ(WEXITSTATUS(without), 1);
+
+  {
+    std::ofstream out(root / "baseline.txt");
+    out << "# temporary debt, tracked\n"
+        << "src/rl/bad.cc det-rand\n";
+  }
+  const std::string with_baseline =
+      "\"" + bin + "\" --repo-root \"" + root.string() + "\" --baseline \"" +
+      (root / "baseline.txt").string() + "\" src/rl/bad.cc > /dev/null 2>&1";
+  const int with = std::system(("cd / && " + with_baseline).c_str());
+  ASSERT_TRUE(WIFEXITED(with));
+  EXPECT_EQ(WEXITSTATUS(with), 0);
+  fs::remove_all(root);
+}
+
+}  // namespace

@@ -44,6 +44,8 @@ TEST(Metrics, ConcurrentCounterIncrements) {
   obs::Counter c;
   constexpr int kThreads = 8;
   constexpr int kIncrements = 10000;
+  // Raw threads on purpose: these tests hammer cross-thread atomicity of the
+  // metrics/trace primitives themselves. A3CS_LINT(conc-raw-thread)
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&c] {
@@ -59,6 +61,8 @@ TEST(Metrics, GaugeSetAndConcurrentAdd) {
   g.set(1.5);
   EXPECT_DOUBLE_EQ(g.value(), 1.5);
   g.set(0.0);
+  // Raw threads on purpose: these tests hammer cross-thread atomicity of the
+  // metrics/trace primitives themselves. A3CS_LINT(conc-raw-thread)
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&g] {
@@ -107,6 +111,8 @@ TEST(Metrics, RegistryConcurrentRegistrationAndUpdate) {
   obs::MetricsRegistry reg;
   constexpr int kThreads = 8;
   constexpr int kIncrements = 2000;
+  // Raw threads on purpose: these tests hammer cross-thread atomicity of the
+  // metrics/trace primitives themselves. A3CS_LINT(conc-raw-thread)
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&reg] {
@@ -180,6 +186,8 @@ TEST(Trace, EveryLineIsWellFormedUnderConcurrency) {
   constexpr int kEvents = 500;
   {
     obs::TraceWriter writer(tmp.path(), /*flush_every=*/16);
+    // Raw threads on purpose: these tests hammer cross-thread atomicity of the
+    // metrics/trace primitives themselves. A3CS_LINT(conc-raw-thread)
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&writer, t] {
@@ -314,6 +322,8 @@ TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
 }
 
 TEST_F(ProfilerTest, ConcurrentThreadsMergeIntoSharedNodes) {
+  // Raw threads on purpose: these tests hammer cross-thread atomicity of the
+  // metrics/trace primitives themselves. A3CS_LINT(conc-raw-thread)
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([] {

@@ -173,6 +173,21 @@ TEST(ThreadPool, LabelStatsAttributeTasks) {
   EXPECT_EQ(beta_tasks, 4);
 }
 
+TEST(ThreadPool, LabelStatsSortedRegardlessOfClaimOrder) {
+  // Slots are claimed in first-use order; emission (exec_stats gauges and
+  // the "exec" trace event) must still be byte-stable, so label_stats()
+  // returns labels sorted even when claimed out of order.
+  util::ThreadPool pool(2);
+  pool.parallel_for(0, 4, 1, [](std::int64_t, std::int64_t) {}, "zeta");
+  pool.parallel_for(0, 4, 1, [](std::int64_t, std::int64_t) {}, "alpha");
+  pool.parallel_for(0, 4, 1, [](std::int64_t, std::int64_t) {}, "mid");
+  const auto stats = pool.label_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_STREQ(stats[0].label, "alpha");
+  EXPECT_STREQ(stats[1].label, "mid");
+  EXPECT_STREQ(stats[2].label, "zeta");
+}
+
 TEST(ThreadPool, GlobalPoolResizable) {
   util::ThreadPool::set_global_threads(2);
   EXPECT_EQ(util::ThreadPool::global().threads(), 2);

@@ -1,0 +1,28 @@
+// Fixture: idiomatic repo code — must produce zero findings under any
+// virtual path, including banned identifiers inside strings and comments,
+// which the lexer strips before rules run.
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace fixture {
+
+// Comments may mention rand() or std::thread without tripping rules.
+constexpr int kAnswer = 42;
+
+class Engine {
+ public:
+  void save_state(std::ostream& out) const {
+    for (const auto& [k, v] : table_) out << k << v;  // std::map: ordered
+  }
+  void load_state(std::istream& in);
+
+ private:
+  std::map<std::string, double> table_;
+};
+
+std::string describe() {
+  return "calling rand() or std::thread here is just a string";
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: conc-static-local and conc-mutable-global must fire on
+// unprotected mutable state (linted under a virtual src/ path) and stay
+// silent on const/atomic/mutex-adjacent/reference declarations.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+int g_call_count = 0;                     // conc-mutable-global
+std::atomic<int> g_atomic_count{0};       // fine: atomic
+const char* const kName = "fixture";      // fine: const
+thread_local int t_depth = 0;             // fine: thread-local
+
+int bump() {
+  static int counter = 0;  // conc-static-local
+  return ++counter;
+}
+
+int bump_guarded() {
+  static std::mutex mu;
+  static long guarded = 0;  // fine: mutex adjacent
+  std::lock_guard<std::mutex> lock(mu);
+  return static_cast<int>(++guarded);
+}
+
+const std::string& cached_name() {
+  static const std::string name = "cached";  // fine: const
+  return name;
+}
+
+}  // namespace fixture

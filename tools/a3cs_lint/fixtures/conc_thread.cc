@@ -1,0 +1,11 @@
+// Fixture: conc-raw-thread must fire on raw threading primitives (linted
+// under a virtual src/das/ path).
+#include <future>
+#include <thread>
+
+void fan_out() {
+  std::thread t([] {});            // conc-raw-thread
+  t.detach();                      // conc-raw-thread
+  auto f = std::async([] { return 1; });  // conc-raw-thread
+  (void)f;
+}

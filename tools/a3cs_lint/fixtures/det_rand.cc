@@ -1,0 +1,9 @@
+// Fixture: det-rand must fire on libc RNG and std::random_device.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;        // det-rand
+  srand(42);                    // det-rand
+  return rand() + static_cast<int>(rd());  // det-rand
+}

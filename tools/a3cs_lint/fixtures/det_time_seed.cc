@@ -1,0 +1,13 @@
+// Fixture: det-time-seed must fire when an RNG seed is derived from a clock.
+#include <chrono>
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+};
+
+Rng make_rng() {
+  const auto seed = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return Rng(seed);  // det-time-seed (seed near a clock read)
+}

@@ -1,0 +1,26 @@
+// Fixture: det-unordered-iter must fire on hash-ordered iteration inside a
+// save_state body, and stay silent for keyed lookups and for iteration in
+// non-serialized functions.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<std::string, double> values;
+
+  void save_state(std::ostream& out) const {
+    for (const auto& [k, v] : values) {  // det-unordered-iter
+      out << k << v;
+    }
+  }
+
+  double lookup(const std::string& key) const {
+    return values.at(key);  // keyed access is fine anywhere
+  }
+
+  double sum_unserialized() const {
+    double s = 0;
+    for (const auto& [k, v] : values) s += v;  // fine: not a save path
+    return s;
+  }
+};

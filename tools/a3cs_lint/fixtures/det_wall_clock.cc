@@ -1,0 +1,9 @@
+// Fixture: det-wall-clock must fire in numeric code (linted under a
+// virtual src/nn/ path) and stay silent under bench/.
+#include <chrono>
+
+double fused_step() {
+  const auto t0 = std::chrono::steady_clock::now();  // det-wall-clock
+  (void)t0;
+  return 0.0;
+}

@@ -1,0 +1,2 @@
+// Fixture: hyg-pragma-once must fire — this header has no include guard.
+inline int fixture_value() { return 42; }

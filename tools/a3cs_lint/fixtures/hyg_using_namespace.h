@@ -1,0 +1,9 @@
+// Fixture: hyg-using-namespace must fire; the leading comment must not
+// confuse the #pragma once check.
+#pragma once
+
+#include <string>
+
+using namespace std;  // hyg-using-namespace
+
+inline string fixture_name() { return "fixture"; }

@@ -1,0 +1,27 @@
+// Fixture: ser-pair must fire on one-sided serialization interfaces and
+// stay silent on paired ones.
+#include <istream>
+#include <ostream>
+
+class SaveOnly {
+ public:
+  void save_state(std::ostream& out) const;  // ser-pair: no load_state
+};
+
+class LoadOnly {
+ public:
+  void load_state(std::istream& in);  // ser-pair: no save_state
+};
+
+class Paired {
+ public:
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+};
+
+class CallerOnly {
+ public:
+  // Calling save_state on a member inside an inline method is not a
+  // declaration and must not count toward the pairing check.
+  void snapshot(std::ostream& out, Paired& p) { p.save_state(out); }
+};

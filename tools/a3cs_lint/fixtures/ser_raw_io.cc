@@ -1,0 +1,19 @@
+// Fixture: ser-raw-io must fire on raw byte IO in serialization layers
+// (linted under a virtual src/ckpt/ path).
+#include <cstdio>
+#include <cstring>
+
+struct Header {
+  int version;
+  long payload_len;
+};
+
+void write_header(std::FILE* f, const Header& h) {
+  std::fwrite(&h, sizeof(h), 1, f);  // ser-raw-io: struct layout leaks
+}
+
+void read_header(std::FILE* f, Header* h) {
+  char buf[sizeof(Header)];
+  std::fread(buf, sizeof(buf), 1, f);   // ser-raw-io
+  std::memcpy(h, buf, sizeof(Header));  // ser-raw-io
+}

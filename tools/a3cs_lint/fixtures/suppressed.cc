@@ -1,0 +1,15 @@
+// Fixture: every violation here carries an inline A3CS_LINT suppression —
+// the file must lint clean, demonstrating both same-line and line-above
+// marker placement.
+#include <cstdlib>
+#include <thread>
+
+int draw() {
+  return rand();  // A3CS_LINT(det-rand) fixture exercises same-line markers
+}
+
+void fan_out() {
+  // A3CS_LINT(conc-raw-thread) fixture exercises line-above markers
+  std::thread t([] {});
+  t.join();  // A3CS_LINT(conc-raw-thread)
+}

@@ -1,0 +1,247 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace a3cs_lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits the body of an A3CS_LINT(...) marker into trimmed rule ids.
+std::set<std::string> parse_rule_list(const std::string& body) {
+  std::set<std::string> ids;
+  std::string cur;
+  for (const char c : body) {
+    if (c == ',') {
+      if (!cur.empty()) ids.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) ids.insert(cur);
+  return ids;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexedFile run() {
+    split_lines();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_literal();
+      } else if (c == '\'') {
+        char_literal();
+      } else if (c == 'R' && peek(1) == '"' && !prev_ident_char()) {
+        raw_string_literal();
+      } else if (ident_start(c)) {
+        identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else {
+        punct();
+      }
+    }
+    finalize_suppressions();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  bool prev_ident_char() const {
+    // Distinguishes a raw-string prefix `R"` from an identifier ending in R
+    // (e.g. `FOOBAR"x"` never happens, but `LR"` / `myR` could mislead).
+    return pos_ > 0 && ident_char(src_[pos_ - 1]);
+  }
+
+  void split_lines() {
+    std::string cur;
+    for (const char c : src_) {
+      if (c == '\n') {
+        out_.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out_.lines.push_back(cur);
+  }
+
+  void push(TokKind kind, std::string text) {
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void scan_suppression(const std::string& comment, int line) {
+    std::size_t at = 0;
+    while ((at = comment.find("A3CS_LINT(", at)) != std::string::npos) {
+      const std::size_t open = at + 9;  // index of '('
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      for (const auto& id :
+           parse_rule_list(comment.substr(open + 1, close - open - 1))) {
+        comment_rules_[line].insert(id);
+      }
+      at = close + 1;
+    }
+  }
+
+  void line_comment() {
+    const int start = line_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    scan_suppression(text, start);
+  }
+
+  void block_comment() {
+    const int start = line_;
+    std::string text;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    scan_suppression(text, start);
+  }
+
+  void string_literal() {
+    const int start = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {  // unterminated; bail at line end
+        break;
+      }
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    out_.tokens.push_back(Token{TokKind::kString, std::move(text), start});
+  }
+
+  void raw_string_literal() {
+    const int start = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size()) pos_ += close.size();
+    out_.tokens.push_back(Token{TokKind::kString, std::move(text), start});
+  }
+
+  void char_literal() {
+    const int start = line_;
+    std::string text;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back(Token{TokKind::kChar, std::move(text), start});
+  }
+
+  void identifier() {
+    std::string text;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) text += src_[pos_++];
+    push(TokKind::kIdent, std::move(text));
+  }
+
+  void number() {
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        text += c;
+        ++pos_;
+      } else if ((c == '+' || c == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    push(TokKind::kNumber, std::move(text));
+  }
+
+  void punct() {
+    if (src_[pos_] == ':' && peek(1) == ':') {
+      push(TokKind::kPunct, "::");
+      pos_ += 2;
+      return;
+    }
+    push(TokKind::kPunct, std::string(1, src_[pos_]));
+    ++pos_;
+  }
+
+  // A suppression comment silences its own line; when nothing but the
+  // comment sits on that line it also silences the next line, so markers can
+  // be placed above long statements.
+  void finalize_suppressions() {
+    std::set<int> code_lines;
+    for (const Token& t : out_.tokens) code_lines.insert(t.line);
+    for (const auto& [line, ids] : comment_rules_) {
+      auto& here = out_.suppressions[line];
+      here.insert(ids.begin(), ids.end());
+      if (code_lines.count(line) == 0) {
+        auto& next = out_.suppressions[line + 1];
+        next.insert(ids.begin(), ids.end());
+      }
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexedFile out_;
+  std::map<int, std::set<std::string>> comment_rules_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace a3cs_lint

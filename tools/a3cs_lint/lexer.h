@@ -1,0 +1,43 @@
+// Lightweight C++ lexer for the a3cs-lint rule engine.
+//
+// The lexer's job is to make token-pattern rules trustworthy: comments and
+// string/char literals are stripped into placeholder tokens so a banned
+// identifier inside a log message or a doc comment can never fire a rule,
+// and `// A3CS_LINT(rule-id)` suppression comments are collected as they go
+// by. It is not a preprocessor: macros are not expanded and #include bodies
+// are not followed — rules see each file exactly as written.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace a3cs_lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (lexed loosely, incl. 0x.., 1e-3, digit')
+  kString,   // string literal (text = decoded-ish body, quotes stripped)
+  kChar,     // character literal
+  kPunct,    // one punctuation char, except "::" which is one token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;  // raw source, for adjacency heuristics
+  // line -> rule-ids silenced there by `// A3CS_LINT(id[, id...])`. A
+  // suppression comment on its own line also covers the following line.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+// Never fails: unterminated literals/comments lex to end-of-file.
+LexedFile lex(const std::string& source);
+
+}  // namespace a3cs_lint

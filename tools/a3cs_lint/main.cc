@@ -1,0 +1,207 @@
+// a3cs-lint driver: walks src/, tests/, bench/ and examples/, runs the rule
+// engine over every C++ source file, applies the checked-in baseline, and
+// exits non-zero when unsuppressed findings remain. Registered as the `lint`
+// ctest so tier-1 catches invariant regressions at build time.
+//
+//   a3cs_lint --repo-root <dir>              lint the tree
+//   a3cs_lint --repo-root <dir> --update-a3ck-fingerprint
+//   a3cs_lint --list-rules
+//   a3cs_lint --repo-root <dir> file.cc ...  lint specific files only
+//
+// See docs/STATIC_ANALYSIS.md for the rule catalog and suppression workflow.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kWalkDirs[] = {"src", "tests", "bench", "examples"};
+constexpr const char* kBaselineRel = "tools/a3cs_lint/baseline.txt";
+constexpr const char* kFingerprintRel = "tools/a3cs_lint/a3ck_layout.txt";
+constexpr const char* kSectionHeaderRel = "src/ckpt/section_file.h";
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string read_file(const fs::path& p, bool* ok = nullptr) {
+  std::ifstream in(p, std::ios::binary);
+  if (ok != nullptr) *ok = static_cast<bool>(in);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Repo-relative path with forward slashes (rule scoping is path-based).
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+// Baseline format: `<repo-relative-path> <rule-id>` per line, '#' comments.
+// An entry silences every finding of that rule in that file.
+std::set<std::pair<std::string, std::string>> load_baseline(
+    const fs::path& path) {
+  std::set<std::pair<std::string, std::string>> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string file, rule;
+    if (fields >> file >> rule) entries.emplace(file, rule);
+  }
+  return entries;
+}
+
+int usage() {
+  std::cerr
+      << "usage: a3cs_lint [--repo-root DIR] [--baseline FILE|--no-baseline]\n"
+         "                 [--update-a3ck-fingerprint] [--list-rules]\n"
+         "                 [files...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path baseline_path;
+  bool use_baseline = true;
+  bool update_fingerprint = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--no-baseline") {
+      use_baseline = false;
+    } else if (arg == "--update-a3ck-fingerprint") {
+      update_fingerprint = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& [id, desc] : a3cs_lint::rule_catalog()) {
+        std::cout << id << "\t" << desc << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "a3cs_lint: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+  root = fs::absolute(root).lexically_normal();
+  if (baseline_path.empty()) baseline_path = root / kBaselineRel;
+
+  if (update_fingerprint) {
+    bool ok = false;
+    const std::string header = read_file(root / kSectionHeaderRel, &ok);
+    if (!ok) {
+      std::cerr << "a3cs_lint: cannot read " << kSectionHeaderRel << "\n";
+      return 2;
+    }
+    std::ofstream out(root / kFingerprintRel);
+    out << a3cs_lint::render_fingerprint_file(header);
+    if (!out) {
+      std::cerr << "a3cs_lint: cannot write " << kFingerprintRel << "\n";
+      return 2;
+    }
+    std::cout << "a3cs_lint: updated " << kFingerprintRel << "\n";
+    return 0;
+  }
+
+  // Collect files: explicit list, or a deterministic sorted walk.
+  std::vector<fs::path> files;
+  if (!explicit_files.empty()) {
+    for (const auto& f : explicit_files) {
+      const fs::path p = fs::path(f).is_absolute() ? fs::path(f) : root / f;
+      files.push_back(p);
+    }
+  } else {
+    for (const char* dir : kWalkDirs) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<a3cs_lint::Finding> findings;
+  for (const fs::path& file : files) {
+    bool ok = false;
+    const std::string source = read_file(file, &ok);
+    if (!ok) {
+      std::cerr << "a3cs_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    for (auto& f : a3cs_lint::lint_source(rel_path(root, file), source)) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Whole-tree walks also verify the A3CK layout fingerprint.
+  if (explicit_files.empty()) {
+    bool ok = false;
+    const std::string header = read_file(root / kSectionHeaderRel, &ok);
+    if (ok) {
+      const std::string record = read_file(root / kFingerprintRel);
+      for (auto& f : a3cs_lint::check_layout_fingerprint(
+               kSectionHeaderRel, header, record)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  if (use_baseline) {
+    const auto baseline = load_baseline(baseline_path);
+    if (!baseline.empty()) {
+      std::vector<a3cs_lint::Finding> kept;
+      for (auto& f : findings) {
+        if (!baseline.count({f.path, f.rule})) kept.push_back(std::move(f));
+      }
+      findings = std::move(kept);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const a3cs_lint::Finding& a, const a3cs_lint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const auto& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "a3cs_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s")
+              << " (suppress with // A3CS_LINT(rule-id) or "
+              << kBaselineRel << ")\n";
+    return 1;
+  }
+  std::cout << "a3cs_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}

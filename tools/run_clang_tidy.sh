@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Run the repo's curated .clang-tidy checks over src/ using the build tree's
+# compile_commands.json (exported by CMake automatically). Advisory second
+# opinion to the enforced `lint` ctest — see docs/STATIC_ANALYSIS.md.
+#
+#   tools/run_clang_tidy.sh [build-dir]     # default: ./build
+#
+# Exits 0 with a notice when clang-tidy is not installed, so callers can
+# include it unconditionally.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed, skipping (advisory pass)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD/compile_commands.json not found" >&2
+  echo "run_clang_tidy: configure first: cmake -B $BUILD -S $ROOT" >&2
+  exit 2
+fi
+
+status=0
+# Sorted walk for stable output ordering.
+for f in $(find "$ROOT/src" -name '*.cc' | sort); do
+  echo "== clang-tidy ${f#"$ROOT"/} =="
+  clang-tidy -p "$BUILD" --quiet "$f" || status=$?
+done
+exit "$status"
