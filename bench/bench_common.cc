@@ -1,5 +1,9 @@
 #include "bench_common.h"
 
+#include <cstdlib>
+
+#include "obs/perf/bench.h"
+
 namespace a3cs::bench {
 
 rl::A2cConfig bench_a2c(const rl::LossCoefficients& coef,
@@ -55,6 +59,16 @@ core::CoSearchConfig bench_cosearch(const std::string& game,
 }
 
 void banner(const std::string& experiment, const std::string& description) {
+  // Strict env validation: a typo'd A3CS_SCALE=0 or A3CS_EVAL_EPISODES=ten
+  // must abort loudly before hours of benching, not silently fall back to
+  // the defaults.
+  const std::vector<std::string> env_errors = obs::perf::validate_bench_env();
+  if (!env_errors.empty()) {
+    for (const std::string& err : env_errors) {
+      std::cerr << "bench env error: " << err << "\n";
+    }
+    std::exit(2);
+  }
   std::cout << "\n==================================================\n"
             << experiment << ": " << description << "\n"
             << "A3CS_SCALE=" << util::bench_scale()

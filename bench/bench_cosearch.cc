@@ -1,0 +1,129 @@
+// Co-search loop benchmarks on the perf registry (BENCH_COSEARCH.json):
+// supernet forward/backward on a batch, rollout collection, and one A2C
+// update — the inner-loop costs that dominate a co-search run's wall time.
+//
+// Shapes are deliberately tiny (Catch observations, few cells) so the bench
+// measures the loop mechanics rather than raw GEMM throughput, which
+// BENCH_KERNELS.json already covers. A3CS_BENCH_SMOKE=1 shrinks further to
+// one repeat for the bench_smoke ctest (docs/BENCHMARKING.md).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arcade/games.h"
+#include "arcade/vec_env.h"
+#include "bench_common.h"
+#include "nas/supernet.h"
+#include "nn/actor_critic.h"
+#include "obs/perf/bench.h"
+#include "rl/a2c.h"
+#include "rl/rollout.h"
+#include "util/rng.h"
+
+using namespace a3cs;
+using obs::perf::Bench;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+struct SupernetFixture {
+  std::unique_ptr<arcade::VecEnv> envs;
+  nas::Supernet* supernet = nullptr;  // owned by net's backbone
+  std::unique_ptr<nn::ActorCriticNet> net;
+};
+
+SupernetFixture make_fixture(int num_envs, int num_cells) {
+  SupernetFixture fx;
+  fx.envs = std::make_unique<arcade::VecEnv>("Catch", num_envs, 4242);
+  nas::SupernetConfig cfg;
+  cfg.space.num_cells = num_cells;
+  util::Rng rng(7);
+  auto supernet =
+      std::make_unique<nas::Supernet>(fx.envs->obs_spec(), cfg, rng);
+  fx.supernet = supernet.get();
+  const int feature_dim = supernet->feature_dim();
+  fx.net = std::make_unique<nn::ActorCriticNet>(
+      std::move(supernet), feature_dim, fx.envs->num_actions(), rng);
+  return fx;
+}
+
+Tensor random_batch(const nn::ObsSpec& obs, int n, std::uint64_t seed_value) {
+  util::Rng rng(seed_value);
+  Tensor t(Shape::nchw(n, obs.channels, obs.height, obs.width));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(0, 1));
+  }
+  return t;
+}
+
+}  // namespace
+
+BENCH("supernet_forward") {
+  const int cells = b.smoke() ? 3 : 6;
+  const int batch = b.smoke() ? 2 : 16;
+  SupernetFixture fx = make_fixture(1, cells);
+  const Tensor x = random_batch(fx.envs->obs_spec(), batch, 11);
+  b.config("cells" + std::to_string(cells) + "_n" + std::to_string(batch))
+      .items(batch, "obs/s")
+      .run([&] {
+        volatile float sink = fx.supernet->forward(x)[0];
+        (void)sink;
+      });
+}
+
+BENCH("supernet_backward") {
+  const int cells = b.smoke() ? 3 : 6;
+  const int batch = b.smoke() ? 2 : 16;
+  SupernetFixture fx = make_fixture(1, cells);
+  const Tensor x = random_batch(fx.envs->obs_spec(), batch, 12);
+  const Tensor out = fx.supernet->forward(x);
+  Tensor grad(out.shape());
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = 1.0f / static_cast<float>(grad.numel());
+  }
+  b.config("cells" + std::to_string(cells) + "_n" + std::to_string(batch))
+      .items(batch, "obs/s")
+      .run([&] {
+        // Forward inside the loop: the supernet caches per-op activations,
+        // so backward is only valid right after a forward.
+        fx.supernet->forward(x);
+        volatile float sink = fx.supernet->backward(grad)[0];
+        (void)sink;
+      });
+}
+
+BENCH("rollout_collect") {
+  const int num_envs = b.smoke() ? 2 : 16;
+  const int length = b.smoke() ? 2 : 5;
+  SupernetFixture fx = make_fixture(num_envs, b.smoke() ? 3 : 6);
+  fx.envs->reset();
+  rl::RolloutCollector collector(*fx.envs, util::Rng(21));
+  b.config(std::to_string(num_envs) + "env_len" + std::to_string(length))
+      .items(static_cast<double>(num_envs) * length, "frames/s")
+      .run([&] { collector.collect(*fx.net, length); });
+}
+
+BENCH("a2c_update") {
+  const int num_envs = b.smoke() ? 2 : 16;
+  SupernetFixture fx = make_fixture(num_envs, b.smoke() ? 3 : 6);
+  fx.envs->reset();
+  rl::A2cConfig cfg = bench::bench_a2c(rl::LossCoefficients{}, 31);
+  cfg.num_envs = num_envs;
+  rl::RolloutCollector collector(*fx.envs, util::Rng(22));
+  const rl::Rollout rollout = collector.collect(*fx.net, cfg.rollout_len);
+  nn::RmsProp opt(cfg.lr_start);
+  b.config(std::to_string(num_envs) + "env")
+      .items(static_cast<double>(num_envs) * cfg.rollout_len, "frames/s")
+      .run([&] {
+        volatile double sink =
+            rl::a2c_update(*fx.net, rollout, cfg, opt, nullptr).loss.total;
+        (void)sink;
+      });
+}
+
+int main(int argc, char** argv) {
+  bench::banner("cosearch",
+                "supernet fwd/bwd, rollout collection and A2C update costs");
+  return obs::perf::run_bench_main("cosearch", argc, argv);
+}

@@ -1,29 +1,25 @@
-// Execution-layer microbenchmarks: GEMM (paper conv shapes + 256^3), im2col
-// and VecEnv::step at 1/2/4/8 threads, against the pre-threading naive i-k-j
-// GEMM as the seed baseline.
+// Execution-layer microbenchmarks on the perf registry (BENCH_KERNELS.json):
+// GEMM (paper conv shapes + 256^3) against the pre-threading naive i-k-j
+// seed kernel, im2col, and VecEnv::step across thread counts.
 //
-// Output: one CSV block (bench, config, threads, ms, throughput, speedup
-// vs. the 1-thread run of the same kernel) plus one JSONL line per
-// measurement (type "bench_kernel") for machine consumption. Numbers to
-// verify: blocked serial GEMM beats gemm_naive at every shape, and parallel
-// runs scale with the machine's cores while staying bit-exact (the
-// determinism_test suite checks exactness; this bench only times).
+// Run `bench_kernels --json BENCH_KERNELS.json` to refresh the committed
+// baseline and `bench_report --check` to diff against it
+// (docs/BENCHMARKING.md). A3CS_BENCH_SMOKE=1 shrinks every case to a tiny
+// shape with one repeat so ctest's bench_smoke can exercise the code path in
+// milliseconds.
 #include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <functional>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arcade/vec_env.h"
 #include "bench_common.h"
+#include "obs/perf/bench.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 using namespace a3cs;
+using obs::perf::Bench;
 using tensor::Shape;
 using tensor::Tensor;
 
@@ -44,24 +40,6 @@ void gemm_naive(const float* a, const float* b, float* c, int m, int k,
   }
 }
 
-// Median-of-runs wall time of `fn`, adaptively repeated to fill ~0.15 s.
-double time_ms(const std::function<void()>& fn) {
-  using clock = std::chrono::steady_clock;
-  fn();  // warm-up
-  std::vector<double> samples;
-  double total = 0.0;
-  while (total < 150.0 && samples.size() < 50) {
-    const auto t0 = clock::now();
-    fn();
-    const double ms =
-        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
-    samples.push_back(ms);
-    total += ms;
-  }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
-}
-
 Tensor random_tensor(const Shape& shape, std::uint64_t seed_value) {
   util::Rng rng(seed_value);
   Tensor t(shape);
@@ -71,114 +49,111 @@ Tensor random_tensor(const Shape& shape, std::uint64_t seed_value) {
   return t;
 }
 
-struct Row {
-  std::string bench;
-  std::string config;
-  int threads;
-  double ms;
-  double throughput;  // GFLOP/s for gemm, Melem/s for im2col, steps/s for env
-  double speedup;     // vs the 1-thread row of the same (bench, config)
+struct GemmShape {
+  int m, k, n;
 };
 
-void emit(util::CsvWriter& csv, const Row& r) {
-  csv.row({r.bench, r.config, std::to_string(r.threads),
-           util::TextTable::num(r.ms), util::TextTable::num(r.throughput),
-           util::TextTable::num(r.speedup)});
-  std::ostringstream json;
-  json << "{\"type\":\"bench_kernel\",\"bench\":\"" << r.bench
-       << "\",\"config\":\"" << r.config << "\",\"threads\":" << r.threads
-       << ",\"ms\":" << r.ms << ",\"throughput\":" << r.throughput
-       << ",\"speedup\":" << r.speedup << "}";
-  std::cout << json.str() << "\n";
+// 256^3 is the acceptance shape; the other two are the paper's conv layers
+// lowered to GEMM (OC x C*KH*KW times C*KH*KW x N*OH*OW).
+std::vector<GemmShape> gemm_shapes(bool smoke) {
+  if (smoke) return {{16, 16, 16}};
+  return {{256, 256, 256}, {64, 576, 2304}, {32, 288, 3136}};
 }
 
-const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+std::vector<int> thread_counts(bool smoke) {
+  if (smoke) return {1};
+  return {1, 2, 4, 8};
+}
+
+std::string shape_label(const GemmShape& s) {
+  return std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+         std::to_string(s.n);
+}
+
+std::int64_t gemm_flops(const GemmShape& s) {
+  return 2ll * s.m * s.k * s.n;
+}
+
+std::int64_t gemm_bytes(const GemmShape& s) {
+  return 4ll * (static_cast<std::int64_t>(s.m) * s.k +
+                static_cast<std::int64_t>(s.k) * s.n +
+                static_cast<std::int64_t>(s.m) * s.n);
+}
 
 }  // namespace
 
-int main() {
+BENCH("gemm_naive") {
+  for (const GemmShape& s : gemm_shapes(b.smoke())) {
+    const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
+    const Tensor bm = random_tensor(Shape::mat(s.k, s.n), 2);
+    Tensor c(Shape::mat(s.m, s.n));
+    b.config(shape_label(s))
+        .threads(1)
+        .work(gemm_flops(s), gemm_bytes(s))
+        .run([&] { gemm_naive(a.data(), bm.data(), c.data(), s.m, s.k, s.n); });
+  }
+}
+
+BENCH("gemm") {
+  for (const GemmShape& s : gemm_shapes(b.smoke())) {
+    const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
+    const Tensor bm = random_tensor(Shape::mat(s.k, s.n), 2);
+    Tensor c(Shape::mat(s.m, s.n));
+    for (int threads : thread_counts(b.smoke())) {
+      b.config(shape_label(s))
+          .threads(threads)
+          .work(gemm_flops(s), gemm_bytes(s))
+          .run([&] {
+            tensor::gemm_raw(a.data(), false, bm.data(), false, c.data(), s.m,
+                             s.k, s.n);
+          });
+    }
+  }
+}
+
+BENCH("im2col") {
+  const int n = b.smoke() ? 2 : 16;
+  const int ch = b.smoke() ? 4 : 32;
+  const int hw = b.smoke() ? 8 : 28;
+  const Tensor x = random_tensor(Shape::nchw(n, ch, hw, hw), 3);
+  const auto g = tensor::ConvGeometry::make(x.shape(), 3, 3, 1, 1);
+  Tensor cols(Shape::mat(ch * 3 * 3, g.n * g.oh * g.ow));
+  const std::string cfg = std::to_string(n) + "x" + std::to_string(ch) + "x" +
+                          std::to_string(hw) + "x" + std::to_string(hw) +
+                          "_k3";
+  for (int threads : thread_counts(b.smoke())) {
+    b.config(cfg)
+        .threads(threads)
+        .work(0, 8 * cols.numel())
+        .items(static_cast<double>(cols.numel()), "elem/s")
+        .run([&] { tensor::im2col(x, g, cols); });
+  }
+}
+
+BENCH("vecenv_step") {
+  const int num_envs = b.smoke() ? 4 : 32;
+  const int horizon = b.smoke() ? 4 : 64;
+  const std::string cfg =
+      "Catch_" + std::to_string(num_envs) + "env";
+  for (int threads : thread_counts(b.smoke())) {
+    arcade::VecEnv envs("Catch", num_envs, 4242);
+    envs.reset();
+    util::Rng rng(7);
+    b.config(cfg)
+        .threads(threads)
+        .items(static_cast<double>(num_envs) * horizon, "steps/s")
+        .run([&] {
+          for (int t = 0; t < horizon; ++t) {
+            std::vector<int> actions(num_envs);
+            for (auto& a : actions) a = rng.uniform_int(envs.num_actions());
+            envs.step(actions);
+          }
+        });
+  }
+}
+
+int main(int argc, char** argv) {
   bench::banner("kernels",
                 "GEMM / im2col / VecEnv::step timing across thread counts");
-  util::CsvWriter csv(std::cout, {"bench", "config", "threads", "ms",
-                                  "throughput", "speedup"});
-
-  // ------------------------------------------------------------- GEMM ----
-  struct GemmShape {
-    int m, k, n;
-  };
-  // 256^3 is the acceptance shape; the other two are the paper's conv
-  // layers lowered to GEMM (OC x C*KH*KW times C*KH*KW x N*OH*OW).
-  const std::vector<GemmShape> shapes = {
-      {256, 256, 256}, {64, 576, 2304}, {32, 288, 3136}};
-  for (const auto& s : shapes) {
-    const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
-    const Tensor b = random_tensor(Shape::mat(s.k, s.n), 2);
-    Tensor c(Shape::mat(s.m, s.n));
-    const double gflop = 2.0 * s.m * s.k * s.n * 1e-9;
-    std::ostringstream cfg;
-    cfg << s.m << "x" << s.k << "x" << s.n;
-
-    // Seed baseline: the naive serial kernel, reported as threads = 0.
-    const double naive_ms =
-        time_ms([&] { gemm_naive(a.data(), b.data(), c.data(), s.m, s.k, s.n); });
-    emit(csv, {"gemm_naive", cfg.str(), 0, naive_ms, gflop / (naive_ms * 1e-3),
-               1.0});
-
-    double serial_ms = 0.0;
-    for (int threads : kThreadCounts) {
-      util::ThreadPool::set_global_threads(threads);
-      const double ms = time_ms([&] {
-        tensor::gemm_raw(a.data(), false, b.data(), false, c.data(), s.m, s.k,
-                         s.n);
-      });
-      if (threads == 1) serial_ms = ms;
-      emit(csv, {"gemm", cfg.str(), threads, ms, gflop / (ms * 1e-3),
-                 serial_ms / ms});
-    }
-    std::cout << "  blocked serial speedup vs seed kernel at " << cfg.str()
-              << ": " << util::TextTable::num(naive_ms / serial_ms) << "x\n";
-  }
-
-  // ----------------------------------------------------------- im2col ----
-  {
-    const Tensor x = random_tensor(Shape::nchw(16, 32, 28, 28), 3);
-    const auto g = tensor::ConvGeometry::make(x.shape(), 3, 3, 1, 1);
-    Tensor cols(Shape::mat(32 * 3 * 3, g.n * g.oh * g.ow));
-    const double melem = cols.numel() * 1e-6;
-    double serial_ms = 0.0;
-    for (int threads : kThreadCounts) {
-      util::ThreadPool::set_global_threads(threads);
-      const double ms = time_ms([&] { tensor::im2col(x, g, cols); });
-      if (threads == 1) serial_ms = ms;
-      emit(csv, {"im2col", "16x32x28x28_k3", threads, ms, melem / (ms * 1e-3),
-                 serial_ms / ms});
-    }
-  }
-
-  // ------------------------------------------------------ VecEnv step ----
-  {
-    const int num_envs = 32, horizon = 64;
-    double serial_ms = 0.0;
-    for (int threads : kThreadCounts) {
-      util::ThreadPool::set_global_threads(threads);
-      arcade::VecEnv envs("Catch", num_envs, 4242);
-      envs.reset();
-      util::Rng rng(7);
-      const double ms = time_ms([&] {
-        for (int t = 0; t < horizon; ++t) {
-          std::vector<int> actions(num_envs);
-          for (auto& a : actions) a = rng.uniform_int(envs.num_actions());
-          envs.step(actions);
-        }
-      });
-      if (threads == 1) serial_ms = ms;
-      emit(csv, {"vecenv_step", "Catch_32env", threads, ms,
-                 num_envs * horizon / (ms * 1e-3), serial_ms / ms});
-    }
-  }
-
-  util::ThreadPool::set_global_threads(1);
-  std::cout << "\nNote: parallel speedups require physical cores; on a "
-               "1-core host every thread count times the same work.\n";
-  return 0;
+  return obs::perf::run_bench_main("kernels", argc, argv);
 }

@@ -13,8 +13,11 @@
 # the shared trace writer, the profiler's thread-local cursors), the
 # checkpoint subsystem (sectioned container parsing of adversarial bytes,
 # the full save/restore round-trip) and the training-health guard (fault
-# injection, rollback recovery), and finishes with an end-to-end
-# fault-injection smoke of cosearch_full --guard=heal. The TSan pass
+# injection, rollback recovery), the perf observability layer (bench
+# registry, BENCH_*.json diffing, Chrome trace export — perf_test), and
+# finishes with an end-to-end fault-injection smoke of cosearch_full
+# --guard=heal plus a perf smoke (bench_kernels in smoke mode, self-diffed
+# through bench_report --check and --chrome-check). The TSan pass
 # instead targets the parallel execution layer: the thread pool itself plus
 # every kernel and subsystem that dispatches onto it (GEMM/im2col, VecEnv
 # stepping, the top-K NAS backward) and the guard's cross-thread pieces
@@ -40,9 +43,9 @@ elif [ "$SAN" = "undefined" ]; then
   TESTS="tensor_test nn_layers_test nn_optim_test nn_zoo_test rl_test nas_test accel_test das_test core_test"
   GUARD_FILTER=""
 else
-  TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test"
+  TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test perf_test"
   GUARD_FILTER=""
-  SMOKE="cosearch_full"
+  SMOKE="cosearch_full bench_kernels bench_report"
 fi
 
 cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" -DA3CS_WERROR=ON >/dev/null
@@ -82,5 +85,24 @@ if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
   A3CS_CKPT_DIR="$CKPT_DIR" A3CS_CKPT_EVERY_ITERS=2 A3CS_CKPT_KEEP=8 \
     "$BUILD/examples/cosearch_full" Catch || status=$?
   rm -rf "$CKPT_DIR"
+fi
+
+# Perf observability smoke (ASan pass only): run the kernel bench suite in
+# smoke mode with a Chrome trace, self-diff its JSON artifact through
+# bench_report --check (must be all-ok) and validate the trace with
+# --chrome-check. See docs/BENCHMARKING.md.
+if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
+  echo "== perf observability smoke ($SAN) =="
+  PERF_DIR="$(mktemp -d "${TMPDIR:-/tmp}/a3cs_perf_smoke.XXXXXX")"
+  A3CS_BENCH_SMOKE=1 A3CS_PROFILE_CHROME="$PERF_DIR/trace.json" \
+    "$BUILD/bench/bench_kernels" --json "$PERF_DIR/kernels.json" || status=$?
+  if [ "$status" -eq 0 ]; then
+    "$BUILD/tools/bench_report/bench_report" --check \
+      --baseline "$PERF_DIR/kernels.json" \
+      --current "$PERF_DIR/kernels.json" || status=$?
+    "$BUILD/tools/bench_report/bench_report" \
+      --chrome-check "$PERF_DIR/trace.json" || status=$?
+  fi
+  rm -rf "$PERF_DIR"
 fi
 exit "$status"

@@ -15,6 +15,8 @@
 #include "nn/module.h"
 #include "obs/exec_stats.h"
 #include "obs/metrics.h"
+#include "obs/perf/chrome_trace.h"
+#include "obs/perf/work_counters.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -458,6 +460,7 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   const bool heal = guard_cfg.mode == guard::GuardMode::kHeal;
 
   obs::TraceSession trace_session(obs_cfg);
+  obs::perf::ChromeTraceSession chrome_session(obs_cfg);
   obs::trace_event("cosearch_start")
       .kv("game", game_title_)
       .kv("threads", util::ThreadPool::global().threads())
@@ -829,6 +832,7 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
   }
 
   obs::record_exec_stats();
+  obs::perf::record_work_metrics();
   obs::trace_event("cosearch_end")
       .kv("iters", iter_)
       .kv("frames", result.frames)

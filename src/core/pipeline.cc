@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "arcade/games.h"
+#include "obs/perf/chrome_trace.h"
+#include "obs/perf/work_counters.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -100,6 +102,7 @@ PipelineResult run_a3cs_pipeline(const std::string& game_title,
   const obs::ObsConfig obs_cfg = cfg.cosearch.obs.with_env_overrides();
   if (obs_cfg.profile_enabled) obs::Profiler::set_enabled(true);
   obs::TraceSession trace_session(obs_cfg);
+  obs::perf::ChromeTraceSession chrome_session(obs_cfg);
   obs::trace_event("pipeline_start")
       .kv("game", game_title)
       .kv("search_frames", cfg.search_frames)
@@ -143,6 +146,7 @@ PipelineResult run_a3cs_pipeline(const std::string& game_title,
   result.test_score = eval.mean_score;
   result.specs = std::move(trained.specs);
   result.trained_net = std::move(trained.net);
+  obs::perf::record_work_metrics();
   obs::trace_event("pipeline_end")
       .kv("game", game_title)
       .kv("arch", result.arch.to_string())

@@ -6,6 +6,7 @@
 
 #include "accel/config_io.h"
 #include "obs/metrics.h"
+#include "obs/perf/work_counters.h"
 #include "obs/profile.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
@@ -39,6 +40,19 @@ void evaluate_batch(const AcceleratorSpace& space, const Predictor& predictor,
                     const std::vector<DrawnSample>& drawn,
                     std::vector<EvaluatedSample>& out) {
   out.resize(drawn.size());
+  A3CS_PROF_SCOPE("das-eval");
+  {
+    // Documented estimate, not a measured count: the analytic predictor does
+    // a few dozen scalar ops per layer spec, so a sweep is roughly
+    // samples * layers * 64 flops. Good enough to rank the sweep against the
+    // tensor kernels in roofline views.
+    static obs::perf::WorkCounters& wc =
+        obs::perf::WorkCounters::named("das-eval");
+    const std::int64_t evals =
+        static_cast<std::int64_t>(drawn.size()) *
+        static_cast<std::int64_t>(specs.size());
+    wc.add(64 * evals, 0, 0);
+  }
   util::parallel_for(
       0, static_cast<std::int64_t>(drawn.size()), 1,
       [&](std::int64_t b, std::int64_t e) {

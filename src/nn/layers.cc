@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/init.h"
+#include "obs/perf/work_counters.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -41,6 +43,20 @@ Tensor Conv2d::forward(const Tensor& x) {
 
   Tensor out(Shape::nchw(geom_.n, out_c_, geom_.oh, geom_.ow));
   const int batch_cols = geom_.n * cols_per_sample;
+  A3CS_PROF_SCOPE("conv-fwd");
+  {
+    // One FMA per (sample, out-channel, ckk, output-cell); weights and cols
+    // read once each per use, output written once (float32). The zero-weight
+    // skip below only reduces *measured* time, not the analytic model.
+    static obs::perf::WorkCounters& wc =
+        obs::perf::WorkCounters::named("conv-fwd");
+    const std::int64_t out_cells =
+        static_cast<std::int64_t>(geom_.n) * out_c_ * cols_per_sample;
+    wc.add(2 * out_cells * ckk,
+           4 * (static_cast<std::int64_t>(out_c_) * ckk +
+                static_cast<std::int64_t>(ckk) * batch_cols),
+           4 * out_cells);
+  }
   // out_slice(OC x ohw) = W(OC x ckk) @ cols_slice(ckk x ohw) per sample.
   // cols_slice starts at column n*ohw of the (ckk x N*ohw) matrix, so we
   // cannot hand the whole batch to one GEMM; instead each (sample, out
@@ -85,6 +101,20 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int ckk = in_c_ * kernel_ * kernel_;
   const int ohw = geom_.oh * geom_.ow;
   const int batch_cols = geom_.n * ohw;
+  A3CS_PROF_SCOPE("conv-bwd");
+  {
+    // Weight-grad and input-grad passes are each a GEMM-shaped reduction of
+    // the same (n, oc, ckk, ohw) volume — 2 FMAs per element in total.
+    static obs::perf::WorkCounters& wc =
+        obs::perf::WorkCounters::named("conv-bwd");
+    const std::int64_t vol =
+        static_cast<std::int64_t>(geom_.n) * out_c_ * ckk * ohw;
+    const std::int64_t grad_cells = static_cast<std::int64_t>(ckk) * batch_cols;
+    wc.add(4 * vol,
+           4 * (static_cast<std::int64_t>(geom_.n) * out_c_ * ohw +
+                grad_cells + static_cast<std::int64_t>(out_c_) * ckk),
+           4 * (static_cast<std::int64_t>(out_c_) * ckk + grad_cells));
+  }
 
   // Bias and weight gradients, fanned out over output channels: each oc owns
   // bias_.grad[oc] and its weight row, so shards write disjoint accumulators.

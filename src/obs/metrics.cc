@@ -12,14 +12,61 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   A3CS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
              "Histogram: bucket bounds must be sorted ascending");
   counts_ = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+  reservoir_ = std::vector<std::atomic<double>>(kReservoirSize);
 }
 
 void Histogram::record(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
+  // The pre-increment total doubles as this sample's reservoir slot, so the
+  // first kReservoirSize samples are kept verbatim without extra state.
+  const std::int64_t n = total_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= 0 && static_cast<std::size_t>(n) < kReservoirSize) {
+    reservoir_[static_cast<std::size_t>(n)].store(value,
+                                                  std::memory_order_relaxed);
+  }
   sum_.add(value);
+}
+
+double Histogram::quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::int64_t n = total_count();
+  if (n <= 0) return 0.0;
+  if (static_cast<std::size_t>(n) <= kReservoirSize) {
+    // Exact path: sort the verbatim samples and linearly interpolate.
+    std::vector<double> samples(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      samples[i] = reservoir_[i].load(std::memory_order_relaxed);
+    }
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1) return samples.front();
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+  }
+  // Large-sample path: find the bucket holding the q-th sample and
+  // interpolate linearly inside it. The overflow bucket has no upper bound,
+  // so it reports the last finite bound (a conservative floor).
+  const double target = q * static_cast<double>(n);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::int64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) < target) {
+      cum += c;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double frac =
+        (target - static_cast<double>(cum)) / static_cast<double>(c);
+    return lower + frac * (upper - lower);
+  }
+  return bounds_.back();
 }
 
 std::int64_t Histogram::bucket_count(std::size_t i) const {
@@ -87,6 +134,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     }
     hv.total = h->total_count();
     hv.sum = h->sum();
+    hv.p50 = h->quantile(0.5);
+    hv.p90 = h->quantile(0.9);
     snap.histograms[name] = std::move(hv);
   }
   return snap;

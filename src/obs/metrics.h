@@ -58,8 +58,17 @@ class Gauge {
 // Fixed-bucket histogram. A sample lands in the first bucket whose upper
 // bound satisfies `value <= bound`; values above the last bound go to the
 // overflow bucket. Bounds are set at registration and never change.
+//
+// The first kReservoirSize samples are additionally kept verbatim, so
+// quantile() is *exact* (sorted-sample linear interpolation) for short
+// series — bench runs with a handful of repeats would otherwise see p50/p90
+// quantized to bucket bounds. Past the reservoir, quantile() falls back to
+// within-bucket linear interpolation over the counts.
 class Histogram {
  public:
+  // Samples kept verbatim for the exact quantile path.
+  static constexpr std::size_t kReservoirSize = 1024;
+
   explicit Histogram(std::vector<double> bounds);
 
   void record(double value);
@@ -71,11 +80,15 @@ class Histogram {
   std::int64_t total_count() const;
   double sum() const;
   double mean() const;
+  // q in [0,1]. Exact while total_count() <= kReservoirSize, bucket-
+  // interpolated beyond that; 0 when empty.
+  double quantile(double q) const;
   void reset();
 
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::int64_t>> counts_;  // bounds.size() + 1
+  std::vector<std::atomic<double>> reservoir_;     // kReservoirSize slots
   std::atomic<std::int64_t> total_{0};
   Gauge sum_;
 };
@@ -86,6 +99,9 @@ struct MetricsSnapshot {
     std::vector<std::int64_t> counts;  // bounds.size() + 1 (overflow last)
     std::int64_t total = 0;
     double sum = 0.0;
+    // Exact for small samples (reservoir), bucket-interpolated beyond.
+    double p50 = 0.0;
+    double p90 = 0.0;
   };
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;

@@ -26,6 +26,10 @@ ObsConfig ObsConfig::with_env_overrides() const {
       util::env_int("A3CS_PROFILE", out.profile_enabled ? 1 : 0) != 0;
   out.profile_summary =
       util::env_int("A3CS_PROFILE_SUMMARY", out.profile_summary ? 1 : 0) != 0;
+  const std::string chrome =
+      util::env_string("A3CS_PROFILE_CHROME", out.profile_chrome_path);
+  out.profile_chrome_path = chrome;
+  if (!out.profile_chrome_path.empty()) out.profile_enabled = true;
   return out;
 }
 

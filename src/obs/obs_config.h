@@ -9,6 +9,8 @@
 //   A3CS_TRACE_EVERY=N             emit every Nth per-iteration event
 //   A3CS_PROFILE=0|1               hierarchical wall-time profiling scopes
 //   A3CS_PROFILE_SUMMARY=0|1       print the profile table at end of run
+//   A3CS_PROFILE_CHROME=out.json   export ProfScopes as Chrome/Perfetto
+//                                  trace_events JSON (implies A3CS_PROFILE=1)
 #pragma once
 
 #include <string>
@@ -30,6 +32,10 @@ struct ObsConfig {
   // Print the profile summary table (via util::TextTable) when a run that
   // enabled profiling finishes.
   bool profile_summary = true;
+  // When non-empty, export scopes as Chrome trace_events JSON to this path
+  // (openable in chrome://tracing / ui.perfetto.dev). Implies
+  // profile_enabled.
+  std::string profile_chrome_path;
 
   // Returns a copy with environment-variable overrides applied on top of
   // the programmatic values (env wins, matching A3CS_LOG_LEVEL semantics).

@@ -1,0 +1,91 @@
+#include "obs/perf/work_counters.h"
+
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/perf/chrome_trace.h"
+#include "obs/trace.h"
+
+namespace a3cs::obs::perf {
+
+namespace {
+
+struct WorkRegistry {
+  std::mutex mu;
+  // std::map keeps snapshot/emission order sorted (byte-stable output).
+  std::map<std::string, std::unique_ptr<WorkCounters>> counters;
+};
+
+WorkRegistry& work_registry() {
+  // Leaked singleton: magic-static init is thread-safe, the pointer is never
+  // reassigned, and all mutation goes through mu. A3CS_LINT(conc-static-local)
+  static WorkRegistry* registry = new WorkRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+struct WorkRegistryAccess {
+  static WorkCounters* make() { return new WorkCounters(); }
+};
+
+WorkCounters& WorkCounters::named(const std::string& kernel) {
+  WorkRegistry& reg = work_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.counters[kernel];
+  if (!slot) slot.reset(WorkRegistryAccess::make());
+  return *slot;
+}
+
+void WorkCounters::add(std::int64_t flops, std::int64_t bytes_read,
+                       std::int64_t bytes_written) {
+  flops_.fetch_add(flops, std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes_read, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes_written, std::memory_order_relaxed);
+  chrome_annotate_work(flops, bytes_read, bytes_written);
+}
+
+std::map<std::string, WorkSnapshot> work_snapshot() {
+  WorkRegistry& reg = work_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::map<std::string, WorkSnapshot> out;
+  for (const auto& [name, wc] : reg.counters) {
+    out[name] = WorkSnapshot{wc->flops(), wc->bytes_read(),
+                             wc->bytes_written()};
+  }
+  return out;
+}
+
+void reset_work_counters() {
+  WorkRegistry& reg = work_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, wc] : reg.counters) wc->reset();
+}
+
+void record_work_metrics() {
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  for (const auto& [name, snap] : work_snapshot()) {
+    metrics.gauge("work." + name + ".flops")
+        .set(static_cast<double>(snap.flops));
+    metrics.gauge("work." + name + ".bytes_read")
+        .set(static_cast<double>(snap.bytes_read));
+    metrics.gauge("work." + name + ".bytes_written")
+        .set(static_cast<double>(snap.bytes_written));
+    if (snap.flops == 0 && snap.bytes_read == 0 && snap.bytes_written == 0) {
+      continue;
+    }
+    trace_event("work")
+        .kv("kernel", name)
+        .kv("flops", snap.flops)
+        .kv("bytes_read", snap.bytes_read)
+        .kv("bytes_written", snap.bytes_written)
+        .kv("intensity",
+            snap.bytes_read + snap.bytes_written > 0
+                ? static_cast<double>(snap.flops) /
+                      static_cast<double>(snap.bytes_read + snap.bytes_written)
+                : 0.0);
+  }
+}
+
+}  // namespace a3cs::obs::perf

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/perf/chrome_trace.h"
 #include "obs/trace.h"
 #include "util/table.h"
 
@@ -25,6 +26,10 @@ Profiler& Profiler::global() {
 }
 
 Profiler::Node* Profiler::enter(const char* name) {
+  // Chrome-trace Begin event (and the frame WorkCounters annotate) happens
+  // before taking the profiler mutex so concurrent scopes don't serialize on
+  // it; the chrome writer has its own lock.
+  perf::chrome_scope_begin(name);
   Node* parent = t_cursor != nullptr ? t_cursor : &root_;
   std::lock_guard<std::mutex> lock(mu_);
   for (Node* child : parent->children) {
@@ -43,6 +48,7 @@ void Profiler::leave(Node* node, std::int64_t elapsed_ns) {
   node->total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
   node->calls.fetch_add(1, std::memory_order_relaxed);
   t_cursor = node->parent == &root_ ? nullptr : node->parent;
+  perf::chrome_scope_end();
 }
 
 void Profiler::flatten_into(const Node* node, const std::string& prefix,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/perf/work_counters.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -129,6 +131,16 @@ void gemm_raw(const float* a, bool trans_a, const float* b, bool trans_b,
   const int a_cols = trans_a ? m : k;
   const int b_cols = trans_b ? k : n;
   if (m <= 0 || n <= 0) return;
+  A3CS_PROF_SCOPE("gemm");
+  {
+    // Analytic work model: one FMA (2 flops) per (m,k,n) element; A and B
+    // each read once, C written once (float32).
+    static obs::perf::WorkCounters& wc = obs::perf::WorkCounters::named("gemm");
+    const std::int64_t mk = static_cast<std::int64_t>(m) * std::max(0, k);
+    const std::int64_t kn = static_cast<std::int64_t>(std::max(0, k)) * n;
+    const std::int64_t mn = static_cast<std::int64_t>(m) * n;
+    wc.add(2 * mk * n, 4 * (mk + kn), 4 * mn);
+  }
   if (k <= 0) {
     // Degenerate reduction: C = beta * C.
     gemm_rows(a, trans_a, b, trans_b, c, 0, m, 0, n, alpha, beta, a_cols,
@@ -194,6 +206,16 @@ void im2col(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
   const int col_cols = g.n * g.oh * g.ow;
   A3CS_CHECK(cols.shape() == Shape::mat(col_rows, col_cols),
              "im2col output shape mismatch");
+  A3CS_PROF_SCOPE("im2col");
+  {
+    // Pure data movement: every output cell is one gather (or zero fill);
+    // the input is touched ~kh*kw times through the sliding windows.
+    static obs::perf::WorkCounters& wc =
+        obs::perf::WorkCounters::named("im2col");
+    const std::int64_t cells =
+        static_cast<std::int64_t>(col_rows) * col_cols;
+    wc.add(0, 4 * cells, 4 * cells);
+  }
   const float* in = input.data();
   float* out = cols.data();
   const int hw = g.h * g.w;
@@ -236,6 +258,15 @@ void col2im(const Tensor& cols, const ConvGeometry& g, Tensor& grad_input) {
   const int col_cols = g.n * g.oh * g.ow;
   A3CS_CHECK(cols.shape() == Shape::mat(col_rows, col_cols),
              "col2im input shape mismatch");
+  A3CS_PROF_SCOPE("col2im");
+  {
+    // Scatter-accumulate: one add per column cell back into the image.
+    static obs::perf::WorkCounters& wc =
+        obs::perf::WorkCounters::named("col2im");
+    const std::int64_t cells =
+        static_cast<std::int64_t>(col_rows) * col_cols;
+    wc.add(cells, 4 * cells, 4 * cells);
+  }
   A3CS_CHECK(grad_input.shape() == Shape::nchw(g.n, g.c, g.h, g.w),
              "col2im output shape mismatch");
   grad_input.zero();

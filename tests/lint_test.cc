@@ -84,6 +84,17 @@ TEST(Lint, DetWallClockScopedToNumericDirs) {
   EXPECT_EQ(count_rule(in_bench, "det-wall-clock"), 0) << dump(in_bench);
 }
 
+TEST(Lint, DetBenchClockFiresOnlyInBench) {
+  const auto in_bench =
+      lint_fixture("det_bench_clock.cc", "bench/bench_custom.cc");
+  // system_clock and std::time() fire; steady_clock in the same file must
+  // stay silent — it is the sanctioned monotonic source.
+  EXPECT_EQ(count_rule(in_bench, "det-bench-clock"), 2) << dump(in_bench);
+  const auto in_obs =
+      lint_fixture("det_bench_clock.cc", "src/obs/perf/run_meta.cc");
+  EXPECT_EQ(count_rule(in_obs, "det-bench-clock"), 0) << dump(in_obs);
+}
+
 TEST(Lint, DetUnorderedIterOnlyInSerializationBodies) {
   const auto fs = lint_fixture("det_unordered_iter.cc", "src/rl/registry.cc");
   // One hit in save_state; the keyed lookup and the non-serialized
@@ -186,7 +197,7 @@ TEST(Lint, CleanFixturePassesEverywhere) {
 
 TEST(Lint, RuleCatalogSortedAndComplete) {
   const auto catalog = a3cs_lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 12u);
+  ASSERT_EQ(catalog.size(), 13u);
   for (std::size_t i = 1; i < catalog.size(); ++i) {
     EXPECT_LT(catalog[i - 1].first, catalog[i].first);
   }

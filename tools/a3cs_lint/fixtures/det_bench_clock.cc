@@ -1,0 +1,19 @@
+// Fixture: det-bench-clock must fire on wall clocks in bench/ code (linted
+// under a virtual bench/ path) and stay silent elsewhere (e.g. src/obs/,
+// where the trace writers legitimately stamp wall time). steady_clock is
+// the sanctioned monotonic source and must never trip the rule.
+#include <chrono>
+#include <ctime>
+
+double sample_wall() {
+  const auto t0 = std::chrono::system_clock::now();  // det-bench-clock
+  const std::time_t stamp = std::time(nullptr);      // det-bench-clock
+  (void)t0;
+  return static_cast<double>(stamp);
+}
+
+double sample_monotonic() {
+  const auto t0 = std::chrono::steady_clock::now();  // fine: monotonic
+  (void)t0;
+  return 0.0;
+}

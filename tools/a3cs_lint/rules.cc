@@ -338,6 +338,28 @@ void rule_det_wall_clock(const Ctx& c) {
   }
 }
 
+// ---------------------------------------------------------- det-bench-clock --
+
+// Bench code must read time through the injectable monotonic clock
+// (obs::perf::BenchSuite::now_ns) — a raw wall clock makes measurements
+// NTP-step sensitive and the registry untestable with a fake clock.
+void rule_det_bench_clock(const Ctx& c) {
+  if (!starts_with(c.path, "bench/")) return;
+  const auto& toks = c.toks();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t == "system_clock" || t == "gettimeofday" || t == "timespec_get" ||
+        (t == "time" && c.punct_at(i + 1, "(") && c.std_qualified(i))) {
+      c.report(toks[i].line, "det-bench-clock",
+               "wall clock (" + t +
+                   ") in bench code — sample time via the injectable "
+                   "monotonic obs::perf::BenchSuite::now_ns() so runs are "
+                   "NTP-immune and fake-clock testable");
+    }
+  }
+}
+
 // ------------------------------------------------------- det-unordered-iter --
 
 void rule_det_unordered_iter(const Ctx& c) {
@@ -635,6 +657,7 @@ std::vector<Finding> lint_source(const std::string& path,
   rule_det_rand(ctx);
   rule_det_time_seed(ctx);
   rule_det_wall_clock(ctx);
+  rule_det_bench_clock(ctx);
   rule_det_unordered_iter(ctx);
   rule_ser_pair(ctx);
   rule_ser_raw_io(ctx);
@@ -668,6 +691,8 @@ std::vector<std::pair<std::string, std::string>> rule_catalog() {
        "util/thread_pool"},
       {"conc-static-local",
        "mutable function-local static in src/ without atomic/mutex nearby"},
+      {"det-bench-clock",
+       "wall clock (system_clock/gettimeofday/...) in bench/ code"},
       {"det-rand",
        "rand()/srand()/std::random_device outside src/util/"},
       {"det-time-seed", "RNG seed derived from a wall clock or counter"},

@@ -1,0 +1,193 @@
+// bench_report: diffs a fresh BENCH_*.json run against a committed baseline
+// and gates on regressions (docs/BENCHMARKING.md).
+//
+//   bench_report --baseline BENCH_KERNELS.json --current fresh.json
+//   bench_report --check --baseline ... --current ... [--max-regress 25]
+//   bench_report --chrome-check trace.json
+//
+// Modes:
+//   default        print the diff table (ok/improved/REGRESSED/new/MISSING)
+//   --check        same, but exit 1 when any row REGRESSED (or a baseline
+//                  row went MISSING — a silently dropped bench must not pass)
+//   --chrome-check validate a Chrome trace_events file: parses the JSON,
+//                  checks otherData metadata and that B/E events are balanced
+//                  per (pid, tid); exit 1 on malformed input
+//
+// Exit codes: 0 ok, 1 regression/malformed, 2 usage error, 3 missing or
+// unreadable baseline/current file.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.h"
+#include "obs/perf/bench_json.h"
+#include "util/table.h"
+
+using namespace a3cs;
+using obs::perf::BenchDoc;
+using obs::perf::DiffRow;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: bench_report [--check] --baseline FILE --current FILE\n"
+         "                    [--max-regress PCT]\n"
+         "       bench_report --chrome-check TRACE.json\n";
+  return 2;
+}
+
+// Validates a Chrome trace_events document: required top-level keys, and
+// balanced B/E duration events per (pid, tid) with matching names.
+int chrome_check(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::cerr << "bench_report: cannot open " << path << "\n";
+    return 3;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue root;
+  try {
+    root = obs::JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: " << path << " is not valid JSON: " << e.what()
+              << "\n";
+    return 1;
+  }
+  if (!root.is_object() || root.find("traceEvents") == nullptr) {
+    std::cerr << "bench_report: " << path << " has no traceEvents array\n";
+    return 1;
+  }
+  const obs::JsonValue* meta = root.find("otherData");
+  if (meta == nullptr || !meta->is_object() ||
+      meta->find("git_sha") == nullptr) {
+    std::cerr << "bench_report: " << path << " has no otherData metadata\n";
+    return 1;
+  }
+  const auto& events = root.find("traceEvents")->as_array();
+  // Per-(pid,tid) stack of open scope names; E must match the innermost B.
+  std::map<std::string, std::vector<std::string>> open;
+  std::int64_t durations = 0;
+  for (const obs::JsonValue& ev : events) {
+    const std::string ph = ev.string_or("ph", "");
+    if (ph != "B" && ph != "E") continue;
+    const std::string lane =
+        std::to_string(static_cast<int>(ev.number_or("pid", 0))) + "/" +
+        std::to_string(static_cast<int>(ev.number_or("tid", 0)));
+    const std::string name = ev.string_or("name", "");
+    if (ph == "B") {
+      open[lane].push_back(name);
+      ++durations;
+      continue;
+    }
+    auto& stack = open[lane];
+    if (stack.empty()) {
+      std::cerr << "bench_report: unbalanced E event \"" << name
+                << "\" on lane " << lane << "\n";
+      return 1;
+    }
+    if (stack.back() != name) {
+      std::cerr << "bench_report: E event \"" << name
+                << "\" does not match open scope \"" << stack.back()
+                << "\" on lane " << lane << "\n";
+      return 1;
+    }
+    stack.pop_back();
+  }
+  for (const auto& [lane, stack] : open) {
+    if (!stack.empty()) {
+      std::cerr << "bench_report: " << stack.size()
+                << " unclosed B event(s) on lane " << lane << " (innermost \""
+                << stack.back() << "\")\n";
+      return 1;
+    }
+  }
+  std::cout << "bench_report: " << path << " ok (" << events.size()
+            << " events, " << durations << " scopes, balanced)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string chrome_path;
+  double max_regress_pct = 25.0;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      try {
+        max_regress_pct = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--chrome-check" && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!chrome_path.empty()) return chrome_check(chrome_path);
+  if (baseline_path.empty() || current_path.empty()) return usage();
+
+  BenchDoc baseline;
+  BenchDoc current;
+  try {
+    baseline = obs::perf::parse_bench_file(baseline_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: baseline: " << e.what() << "\n";
+    return 3;
+  }
+  try {
+    current = obs::perf::parse_bench_file(current_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: current: " << e.what() << "\n";
+    return 3;
+  }
+
+  if (baseline.suite != current.suite) {
+    std::cerr << "bench_report: suite mismatch (baseline \"" << baseline.suite
+              << "\" vs current \"" << current.suite << "\")\n";
+    return 2;
+  }
+
+  const std::vector<DiffRow> rows =
+      obs::perf::diff_baselines(baseline, current, max_regress_pct);
+  std::cout << "suite " << current.suite << ": baseline "
+            << baseline.meta.git_sha << " (" << baseline.meta.host
+            << ") vs current " << current.meta.git_sha << " ("
+            << current.meta.host << "), threshold " << max_regress_pct
+            << "%\n";
+  util::TextTable table(
+      {"bench/config/threads", "base ms", "cur ms", "delta %", "verdict"});
+  for (const DiffRow& row : rows) {
+    table.add_row({row.key, util::TextTable::num(row.baseline_median_ms, 3),
+                   util::TextTable::num(row.current_median_ms, 3),
+                   util::TextTable::num(row.delta_pct, 1),
+                   obs::perf::verdict_name(row.verdict)});
+  }
+  table.print(std::cout);
+
+  if (check && obs::perf::diff_has_failure(rows)) {
+    std::cerr << "bench_report: FAIL — regression above " << max_regress_pct
+              << "% (or missing baseline row)\n";
+    return 1;
+  }
+  return 0;
+}
