@@ -1,19 +1,27 @@
 // Execution-layer microbenchmarks on the perf registry (BENCH_KERNELS.json):
 // GEMM (paper conv shapes + 256^3) against the pre-threading naive i-k-j
-// seed kernel, im2col, and VecEnv::step across thread counts.
+// seed kernel, Conv2d forward, im2col, and VecEnv::step across thread
+// counts. GEMM and conv sweep the kernel-backend dimension too: each
+// available backend (scalar, and avx2 where the host supports it) gets its
+// own config row, e.g. "256x256x256_scalar" vs "256x256x256_avx2".
 //
 // Run `bench_kernels --json BENCH_KERNELS.json` to refresh the committed
 // baseline and `bench_report --check` to diff against it
-// (docs/BENCHMARKING.md). A3CS_BENCH_SMOKE=1 shrinks every case to a tiny
-// shape with one repeat so ctest's bench_smoke can exercise the code path in
-// milliseconds.
+// (docs/BENCHMARKING.md). `bench_kernels --backends` prints the backends
+// usable on this host, one per line (bench/run_sanitized.sh probes it before
+// running the A3CS_BACKEND=avx2 test stage). A3CS_BENCH_SMOKE=1 shrinks
+// every case to a tiny shape with one repeat so ctest's bench_smoke can
+// exercise the code path in milliseconds.
 #include <algorithm>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "arcade/vec_env.h"
 #include "bench_common.h"
+#include "nn/layers.h"
 #include "obs/perf/bench.h"
+#include "tensor/backend/backend.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -80,6 +88,12 @@ std::int64_t gemm_bytes(const GemmShape& s) {
                 static_cast<std::int64_t>(s.m) * s.n);
 }
 
+const tensor::backend::Backend* backend_by_name(const std::string& name) {
+  if (name == "scalar") return &tensor::backend::scalar_backend();
+  if (name == "avx2") return tensor::backend::avx2_backend();
+  return nullptr;
+}
+
 }  // namespace
 
 BENCH("gemm_naive") {
@@ -95,18 +109,48 @@ BENCH("gemm_naive") {
 }
 
 BENCH("gemm") {
-  for (const GemmShape& s : gemm_shapes(b.smoke())) {
-    const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
-    const Tensor bm = random_tensor(Shape::mat(s.k, s.n), 2);
-    Tensor c(Shape::mat(s.m, s.n));
+  for (const std::string& backend : tensor::backend::available_names()) {
+    tensor::backend::ScopedBackend scoped(*backend_by_name(backend));
+    for (const GemmShape& s : gemm_shapes(b.smoke())) {
+      const Tensor a = random_tensor(Shape::mat(s.m, s.k), 1);
+      const Tensor bm = random_tensor(Shape::mat(s.k, s.n), 2);
+      Tensor c(Shape::mat(s.m, s.n));
+      for (int threads : thread_counts(b.smoke())) {
+        b.config(shape_label(s) + "_" + backend)
+            .threads(threads)
+            .work(gemm_flops(s), gemm_bytes(s))
+            .run([&] {
+              tensor::gemm_raw(a.data(), false, bm.data(), false, c.data(),
+                               s.m, s.k, s.n);
+            });
+      }
+    }
+  }
+}
+
+BENCH("conv2d_fwd") {
+  // The paper's 3x3 conv stage lowered through im2col + the backend conv
+  // forward kernels; sweeps the backend dimension like "gemm" above.
+  const int n = b.smoke() ? 2 : 8;
+  const int ch = b.smoke() ? 4 : 32;
+  const int oc = b.smoke() ? 4 : 32;
+  const int hw = b.smoke() ? 8 : 28;
+  util::Rng rng(11);
+  nn::Conv2d conv("bench_conv", ch, oc, 3, 1, 1, rng);
+  const Tensor x = random_tensor(Shape::nchw(n, ch, hw, hw), 5);
+  // flops: im2col is data movement; the matmul is 2 * OC * C*KH*KW per
+  // output element, OH == H and OW == W at stride 1 pad 1.
+  const std::int64_t flops = 2ll * oc * (ch * 9ll) * (n * hw * hw);
+  const std::string shape = std::to_string(n) + "x" + std::to_string(ch) +
+                            "x" + std::to_string(hw) + "x" +
+                            std::to_string(hw) + "_k3";
+  for (const std::string& backend : tensor::backend::available_names()) {
+    tensor::backend::ScopedBackend scoped(*backend_by_name(backend));
     for (int threads : thread_counts(b.smoke())) {
-      b.config(shape_label(s))
+      b.config(shape + "_" + backend)
           .threads(threads)
-          .work(gemm_flops(s), gemm_bytes(s))
-          .run([&] {
-            tensor::gemm_raw(a.data(), false, bm.data(), false, c.data(), s.m,
-                             s.k, s.n);
-          });
+          .work(flops, 0)
+          .run([&] { conv.forward(x); });
     }
   }
 }
@@ -153,7 +197,20 @@ BENCH("vecenv_step") {
 }
 
 int main(int argc, char** argv) {
+  // Machine-readable host-capability probe (used by bench/run_sanitized.sh
+  // to decide whether the A3CS_BACKEND=avx2 stage can run). Handled here —
+  // not in run_bench_main — because the backend registry lives in the tensor
+  // layer, below the obs bench driver.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--backends") {
+      for (const std::string& name : tensor::backend::available_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    }
+  }
   bench::banner("kernels",
-                "GEMM / im2col / VecEnv::step timing across thread counts");
+                "GEMM / conv / im2col / VecEnv::step timing across thread "
+                "counts and kernel backends");
   return obs::perf::run_bench_main("kernels", argc, argv);
 }

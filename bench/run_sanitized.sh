@@ -25,6 +25,12 @@
 # so the pool actually fans out. The standalone UBSan pass sweeps the
 # numeric layers — tensor kernels, nn layers/optimizers, the NAS/DAS/accel
 # math — where signed overflow and bad float casts would hide.
+#
+# Every pass finishes with a kernel-backend stage: when the host supports
+# the avx2 backend (probed via `bench_kernels --backends`), the numeric
+# tier-1 slice reruns under A3CS_BACKEND=avx2 so the SIMD kernels get the
+# same sanitizer coverage as the scalar defaults; hosts without AVX2/FMA
+# print a SKIP and stay green.
 set -eu
 
 SAN="${A3CS_SANITIZE:-address}"
@@ -104,5 +110,22 @@ if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
       --chrome-check "$PERF_DIR/trace.json" || status=$?
   fi
   rm -rf "$PERF_DIR"
+fi
+
+# Kernel-backend stage: rerun the numeric tier-1 slice under the avx2
+# backend so the per-TU SIMD kernels (src/tensor/backend/kernels_avx2.cc)
+# see the same sanitizer as the scalar path. Probe the host first —
+# bench_kernels --backends prints one usable backend per line.
+if [ "$status" -eq 0 ]; then
+  cmake --build "$BUILD" -j "$(nproc)" --target bench_kernels \
+    tensor_test nn_layers_test determinism_test backend_check_test >/dev/null
+  if "$BUILD/bench/bench_kernels" --backends | grep -qx avx2; then
+    for t in tensor_test nn_layers_test determinism_test backend_check_test; do
+      echo "== $t ($SAN, A3CS_BACKEND=avx2) =="
+      A3CS_BACKEND=avx2 "$BUILD/tests/$t" || status=$?
+    done
+  else
+    echo "== backend stage: SKIP (avx2 backend unavailable on this host) =="
+  fi
 fi
 exit "$status"

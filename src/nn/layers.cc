@@ -5,6 +5,7 @@
 #include "nn/init.h"
 #include "obs/perf/work_counters.h"
 #include "obs/profile.h"
+#include "tensor/backend/backend.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,9 @@ Tensor Conv2d::forward(const Tensor& x) {
   // cannot hand the whole batch to one GEMM; instead each (sample, out
   // channel) row is an independent unit of work — disjoint output rows, so
   // the fan-out over the pool is race-free and bit-exact at any thread count.
+  // The per-task kernel comes from the active backend (see
+  // tensor/backend/backend.h); shard boundaries are backend-independent.
+  const tensor::backend::Backend& be = tensor::backend::active();
   const std::int64_t total = static_cast<std::int64_t>(geom_.n) * out_c_;
   const std::int64_t row_work =
       static_cast<std::int64_t>(ckk) * cols_per_sample;
@@ -70,24 +74,9 @@ Tensor Conv2d::forward(const Tensor& x) {
   util::parallel_for(
       0, total, grain,
       [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const int n = static_cast<int>(t / out_c_);
-          const int oc = static_cast<int>(t % out_c_);
-          float* orow = out.data() +
-                        (static_cast<std::size_t>(n) * out_c_ + oc) *
-                            cols_per_sample;
-          std::fill(orow, orow + cols_per_sample, bias_.value[oc]);
-          const float* wrow =
-              weight_.value.data() + static_cast<std::size_t>(oc) * ckk;
-          for (int kk = 0; kk < ckk; ++kk) {
-            const float wv = wrow[kk];
-            if (wv == 0.0f) continue;
-            const float* crow = cached_cols_.data() +
-                                static_cast<std::size_t>(kk) * batch_cols +
-                                static_cast<std::size_t>(n) * cols_per_sample;
-            for (int j = 0; j < cols_per_sample; ++j) orow[j] += wv * crow[j];
-          }
-        }
+        be.conv_forward_tasks(weight_.value.data(), bias_.value.data(),
+                              cached_cols_.data(), out.data(), out_c_, ckk,
+                              cols_per_sample, batch_cols, t0, t1);
       },
       "conv-fwd");
   return out;
@@ -118,59 +107,29 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   // Bias and weight gradients, fanned out over output channels: each oc owns
   // bias_.grad[oc] and its weight row, so shards write disjoint accumulators.
-  // The batch loop stays innermost and ascending, matching the serial
-  // accumulation order bit for bit.
+  // The batch loop stays innermost and ascending inside the backend kernel,
+  // matching the serial accumulation order bit for bit (per backend).
+  const tensor::backend::Backend& be = tensor::backend::active();
   util::parallel_for(
       0, out_c_, 4,
       [&](std::int64_t oc0, std::int64_t oc1) {
-        for (int oc = static_cast<int>(oc0); oc < static_cast<int>(oc1);
-             ++oc) {
-          float* wrow =
-              weight_.grad.data() + static_cast<std::size_t>(oc) * ckk;
-          for (int n = 0; n < geom_.n; ++n) {
-            const float* grow =
-                grad_out.data() +
-                (static_cast<std::size_t>(n) * out_c_ + oc) * ohw;
-            double acc = 0.0;
-            for (int j = 0; j < ohw; ++j) acc += grow[j];
-            bias_.grad[oc] += static_cast<float>(acc);
-            // grad_W(OC x ckk) += g(OC x ohw) @ cols_slice^T(ohw x ckk)
-            for (int kk = 0; kk < ckk; ++kk) {
-              const float* crow = cached_cols_.data() +
-                                  static_cast<std::size_t>(kk) * batch_cols +
-                                  static_cast<std::size_t>(n) * ohw;
-              double wacc = 0.0;
-              for (int j = 0; j < ohw; ++j) wacc += grow[j] * crow[j];
-              wrow[kk] += static_cast<float>(wacc);
-            }
-          }
-        }
+        be.conv_backward_wgrad(grad_out.data(), cached_cols_.data(),
+                               weight_.grad.data(), bias_.grad.data(),
+                               geom_.n, out_c_, ckk, ohw, batch_cols,
+                               static_cast<int>(oc0), static_cast<int>(oc1));
       },
       "conv-bwd");
 
-  // Column gradient, fanned out over samples (disjoint column slices).
+  // Column gradient, fanned out over samples (disjoint column slices):
+  // grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw).
   Tensor grad_cols(Shape::mat(ckk, batch_cols));
   util::parallel_for(
       0, geom_.n, 1,
       [&](std::int64_t n0, std::int64_t n1) {
-        for (int n = static_cast<int>(n0); n < static_cast<int>(n1); ++n) {
-          const float* g_slice =
-              grad_out.data() + static_cast<std::size_t>(n) * out_c_ * ohw;
-          // grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw)
-          for (int kk = 0; kk < ckk; ++kk) {
-            float* gc = grad_cols.data() +
-                        static_cast<std::size_t>(kk) * batch_cols +
-                        static_cast<std::size_t>(n) * ohw;
-            std::fill(gc, gc + ohw, 0.0f);
-            for (int oc = 0; oc < out_c_; ++oc) {
-              const float wv =
-                  weight_.value.data()[static_cast<std::size_t>(oc) * ckk + kk];
-              if (wv == 0.0f) continue;
-              const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
-              for (int j = 0; j < ohw; ++j) gc[j] += wv * grow[j];
-            }
-          }
-        }
+        be.conv_backward_colgrad(grad_out.data(), weight_.value.data(),
+                                 grad_cols.data(), out_c_, ckk, ohw,
+                                 batch_cols, static_cast<int>(n0),
+                                 static_cast<int>(n1));
       },
       "conv-bwd");
 

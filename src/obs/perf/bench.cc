@@ -126,6 +126,12 @@ void Bench::run(const std::function<void()>& fn) {
   if (items_ > 0.0 && result.median_ms > 0.0) {
     result.throughput = items_ / (result.median_ms / 1e3);
     result.throughput_unit = items_unit_;
+  } else if (flops_ > 0 && result.median_ms > 0.0) {
+    // No explicit items: derive GFLOP/s from the analytic flops annotation
+    // (flops per iteration / median seconds / 1e9).
+    result.throughput =
+        static_cast<double>(flops_) / (result.median_ms * 1e6);
+    result.throughput_unit = "GFLOP/s";
   }
   result.flops = flops_;
   result.bytes = bytes_;

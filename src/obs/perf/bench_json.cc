@@ -201,6 +201,8 @@ std::vector<DiffRow> diff_baselines(const BenchDoc& baseline,
     DiffRow row;
     row.key = key;
     row.baseline_median_ms = base->median_ms;
+    row.baseline_throughput = base->throughput;
+    row.throughput_unit = base->throughput_unit;
     const auto it = cur_rows.find(key);
     if (it == cur_rows.end()) {
       row.verdict = DiffRow::Verdict::kMissing;
@@ -208,6 +210,10 @@ std::vector<DiffRow> diff_baselines(const BenchDoc& baseline,
       continue;
     }
     row.current_median_ms = it->second->median_ms;
+    row.current_throughput = it->second->throughput;
+    if (!it->second->throughput_unit.empty()) {
+      row.throughput_unit = it->second->throughput_unit;
+    }
     if (base->median_ms > 0.0) {
       row.delta_pct = 100.0 * (row.current_median_ms - base->median_ms) /
                       base->median_ms;
@@ -226,6 +232,8 @@ std::vector<DiffRow> diff_baselines(const BenchDoc& baseline,
     DiffRow row;
     row.key = key;
     row.current_median_ms = cur->median_ms;
+    row.current_throughput = cur->throughput;
+    row.throughput_unit = cur->throughput_unit;
     row.verdict = DiffRow::Verdict::kNew;
     rows.push_back(std::move(row));
   }

@@ -69,6 +69,11 @@ struct DiffRow {
   double baseline_median_ms = 0.0;
   double current_median_ms = 0.0;
   double delta_pct = 0.0;  // 100 * (current - baseline) / baseline
+  // Derived throughput (0 when the row carries none). The unit comes from
+  // the current run, falling back to the baseline for kMissing rows.
+  double baseline_throughput = 0.0;
+  double current_throughput = 0.0;
+  std::string throughput_unit;
   Verdict verdict = Verdict::kOk;
 };
 

@@ -1,0 +1,114 @@
+#include "tensor/backend/check.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace a3cs::tensor::backend {
+
+namespace {
+
+// Maps a finite float onto the integer line so that adjacent representable
+// values differ by exactly 1 and the ordering crosses zero monotonically.
+std::int64_t float_key(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return (u & 0x80000000u) ? -static_cast<std::int64_t>(u & 0x7fffffffu)
+                           : static_cast<std::int64_t>(u);
+}
+
+// Deterministic float rendering for failure messages: round-trip precision,
+// classic formatting (no locale).
+std::string fmt(float v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::int64_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (a == b) return 0;  // covers equal infinities and +0 vs -0
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const std::int64_t d = float_key(a) - float_key(b);
+  return d < 0 ? -d : d;
+}
+
+CheckOptions tolerance_for_reduction(int k) {
+  CheckOptions opt;
+  int log2k = 0;
+  for (int v = k > 1 ? k - 1 : 1; v > 0; v >>= 1) ++log2k;
+  // Each fused/reordered reduction step can move the result by ~1 ULP and
+  // the error compounds ~sqrt(k); 16 ULP per log2(k) doubling is loose
+  // enough for every shape in the checker grid and still ~100x tighter than
+  // a genuinely wrong kernel. The absolute floor scales with sqrt(k) to
+  // absorb cancellation near zero, where ULP distance explodes.
+  opt.max_ulps = 16 * (log2k > 1 ? log2k : 1);
+  opt.abs_tol = 1e-6f * std::sqrt(static_cast<float>(k > 1 ? k : 1));
+  return opt;
+}
+
+CheckResult compare_elementwise(const float* expected, const float* actual,
+                                std::int64_t count, const CheckOptions& opt,
+                                const std::string& label) {
+  CheckResult res;
+  std::int64_t first_index = -1;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float e = expected[i];
+    const float a = actual[i];
+    if (std::isnan(e) && std::isnan(a)) continue;  // NaN propagation is legal
+    const std::int64_t ulp = ulp_distance(e, a);
+    if (ulp <= opt.max_ulps) continue;
+    const float diff = std::fabs(e - a);
+    if (diff <= opt.abs_tol) continue;  // NaN-vs-number: diff is NaN, fails
+    ++res.mismatches;
+    if (first_index < 0) first_index = i;
+    if (ulp > res.worst_ulp || res.worst_index < 0) {
+      res.worst_ulp = ulp;
+      res.worst_index = i;
+    }
+  }
+  if (res.mismatches > 0) {
+    res.ok = false;
+    const float e = expected[first_index];
+    const float a = actual[first_index];
+    const std::int64_t ulp = ulp_distance(e, a);
+    std::ostringstream os;
+    os << label << ": " << res.mismatches << "/" << count
+       << " elements out of tolerance; first at [" << first_index
+       << "] expected=" << fmt(e) << " actual=" << fmt(a) << " ulp=";
+    if (ulp == std::numeric_limits<std::int64_t>::max()) {
+      os << "nan/inf-mismatch";
+    } else {
+      os << ulp;
+    }
+    os << " (max_ulps=" << opt.max_ulps << " abs_tol=" << fmt(opt.abs_tol)
+       << ")";
+    res.message = os.str();
+  }
+  return res;
+}
+
+CheckResult compare_tensors(const Tensor& expected, const Tensor& actual,
+                            const CheckOptions& opt,
+                            const std::string& label) {
+  if (!(expected.shape() == actual.shape())) {
+    CheckResult res;
+    res.ok = false;
+    res.mismatches = expected.numel();
+    res.message = label + ": shape mismatch " + expected.shape().to_string() +
+                  " vs " + actual.shape().to_string();
+    return res;
+  }
+  return compare_elementwise(expected.data(), actual.data(), expected.numel(),
+                             opt, label + " " + expected.shape().to_string());
+}
+
+}  // namespace a3cs::tensor::backend

@@ -1,0 +1,69 @@
+// Cross-backend numerical comparison for kernel validation.
+//
+// The scalar backend is the bit-exact reference; fast backends (avx2) fuse
+// multiply-adds and reorder float reductions, so their outputs differ from
+// scalar by a few ULP per reduction step. This header defines the tolerance
+// policy and a comparator with deterministic, debuggable failure reports:
+// the first offending index (row-major flat order), both values, their ULP
+// distance and the tolerance in force — so a failing grid case in
+// tests/backend_check_test.cc always prints the same actionable message.
+//
+// Tolerance policy (documented in docs/PERFORMANCE.md):
+//  - Two values match when their ULP distance is <= max_ulps OR their
+//    absolute difference is <= abs_tol. The absolute escape hatch exists for
+//    results near zero, where cancellation makes ULP distance meaningless
+//    (ULP distance between 1e-30 and -1e-30 is huge; the error is tiny).
+//  - Both-NaN counts as a match (a backend must not *introduce* NaN, which
+//    NaN-vs-number catches; NaN propagation itself is legal). NaN vs a
+//    number, or infinities of opposite sign, never match.
+//  - The budget scales with the reduction length k: each fused/reordered
+//    reduction step moves the result by at most ~1 ULP, and errors grow
+//    ~sqrt(k) for random-ish summands. tolerance_for_reduction() returns a
+//    conservative linear-in-log2(k) bound that holds with slack across the
+//    test grid while staying tight enough to catch a wrong kernel (an
+//    off-by-one-element dot is thousands of ULP out).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace a3cs::tensor::backend {
+
+// ULP distance between two finite floats: how many representable float
+// values lie between them (0 = bit-identical, 1 = adjacent). Crossing zero
+// counts the values on both sides. Returns INT64_MAX when either value is
+// NaN or the values are infinities that do not compare equal.
+std::int64_t ulp_distance(float a, float b);
+
+struct CheckOptions {
+  // Values match when ulp <= max_ulps OR |a - b| <= abs_tol.
+  std::int64_t max_ulps = 4;
+  float abs_tol = 1e-6f;
+};
+
+// Tolerance for comparing a reduction of length k against a reordered /
+// FMA-fused evaluation of the same reduction.
+CheckOptions tolerance_for_reduction(int k);
+
+struct CheckResult {
+  bool ok = true;
+  std::int64_t mismatches = 0;    // elements out of tolerance
+  std::int64_t worst_index = -1;  // flat index of the worst element
+  std::int64_t worst_ulp = 0;     // ULP distance there (INT64_MAX for NaN)
+  std::string message;            // empty when ok; deterministic otherwise
+};
+
+// Compares expected[0:count] (the reference backend) against actual[0:count]
+// elementwise. `label` names the comparison in the failure message — by
+// convention "<kernel> <shape>", e.g. "gemm 7x33x129 tA=1 tB=0".
+CheckResult compare_elementwise(const float* expected, const float* actual,
+                                std::int64_t count, const CheckOptions& opt,
+                                const std::string& label);
+
+// Shape-checked convenience over two Tensors.
+CheckResult compare_tensors(const Tensor& expected, const Tensor& actual,
+                            const CheckOptions& opt, const std::string& label);
+
+}  // namespace a3cs::tensor::backend

@@ -1,0 +1,271 @@
+// The blocked-scalar reference backend: the portable kernels moved verbatim
+// from tensor/ops.cc and nn/layers.cc. Compiled with the baseline flags only
+// (no -mavx2/-mfma), so on every host this backend executes the exact
+// instruction sequences of the pre-backend tree — A3CS_BACKEND=scalar is
+// bit-identical to the historical results at every thread count.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/backend/backend.h"
+
+namespace a3cs::tensor::backend {
+
+namespace {
+
+// Register-tile sizes of the blocked GEMM micro-kernel. Per C element the
+// reduction always runs kk ascending, so results do not depend on the tile
+// sizes or on which shard computed the element. 4x8 = 32 accumulator floats
+// fits the baseline-SSE2 register file (16 xmm) without spilling.
+constexpr int kMR = 4;  // A rows per micro-tile
+constexpr int kNR = 8;  // C columns accumulated in registers
+
+inline float a_at(const float* a, bool trans_a, int a_cols, int i, int kk) {
+  return trans_a ? a[static_cast<std::size_t>(kk) * a_cols + i]
+                 : a[static_cast<std::size_t>(i) * a_cols + kk];
+}
+
+// Writes an accumulator tile back to C with the alpha/beta scaling applied
+// exactly once per output element.
+inline void store_tile(const float (*acc)[kNR], float* c, int i0, int j0,
+                       int mr, int nr, int n, float alpha, float beta) {
+  for (int r = 0; r < mr; ++r) {
+    float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
+    if (beta == 0.0f) {
+      for (int j = 0; j < nr; ++j) crow[j] = alpha * acc[r][j];
+    } else {
+      for (int j = 0; j < nr; ++j) {
+        crow[j] = beta * crow[j] + alpha * acc[r][j];
+      }
+    }
+  }
+}
+
+// Full kMR x kNR tile of the !trans_b path with COMPILE-TIME loop bounds:
+// at -O2 the constant-bound loops fully unroll and the accumulator tile
+// lives in registers for the whole kk reduction, so each A value and B row
+// segment is reused kMR times and C is touched once instead of k times.
+// (Variable-bound edge tiles spill the accumulator and run ~3x slower.)
+template <bool TransA>
+inline void micro_tile_full(const float* a, const float* b, float* c, int i0,
+                            int j0, int k, int n, float alpha, float beta,
+                            int a_cols, int b_cols) {
+  float acc[kMR][kNR] = {};
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = b + static_cast<std::size_t>(kk) * b_cols + j0;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = a_at(a, TransA, a_cols, i0 + r, kk);
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  store_tile(acc, c, i0, j0, kMR, kNR, n, alpha, beta);
+}
+
+// C[r0:r1, :] = alpha * A[r0:r1, :] @ B + beta * C[r0:r1, :].
+// Every C element reduces kk ascending on every path (full tiles, edge
+// tiles, trans_b dot products), so the result is independent of the tiling
+// and of which shard computed it.
+void gemm_rows(const float* a, bool trans_a, const float* b, bool trans_b,
+               float* c, int r0, int r1, int k, int n, float alpha, float beta,
+               int a_cols, int b_cols) {
+  for (int i0 = r0; i0 < r1; i0 += kMR) {
+    const int mr = std::min(kMR, r1 - i0);
+    int j_start = 0;
+    if (!trans_b && mr == kMR) {
+      // Fast path over the full tiles of this row panel.
+      for (; j_start + kNR <= n; j_start += kNR) {
+        if (trans_a) {
+          micro_tile_full<true>(a, b, c, i0, j_start, k, n, alpha, beta,
+                                a_cols, b_cols);
+        } else {
+          micro_tile_full<false>(a, b, c, i0, j_start, k, n, alpha, beta,
+                                 a_cols, b_cols);
+        }
+      }
+      if (j_start == n) continue;
+    }
+    for (int j0 = j_start; j0 < n; j0 += kNR) {
+      const int nr = std::min(kNR, n - j0);
+      float acc[kMR][kNR] = {};
+      if (!trans_b) {
+        for (int kk = 0; kk < k; ++kk) {
+          const float* brow = b + static_cast<std::size_t>(kk) * b_cols + j0;
+          for (int r = 0; r < mr; ++r) {
+            const float av = a_at(a, trans_a, a_cols, i0 + r, kk);
+            for (int j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+          }
+        }
+      } else {
+        // B^T case: both reductions run over contiguous rows of A and B.
+        for (int j = 0; j < nr; ++j) {
+          const float* bcol = b + static_cast<std::size_t>(j0 + j) * b_cols;
+          for (int r = 0; r < mr; ++r) {
+            float sum = 0.0f;
+            if (!trans_a) {
+              const float* arow = a + static_cast<std::size_t>(i0 + r) * a_cols;
+              for (int kk = 0; kk < k; ++kk) sum += arow[kk] * bcol[kk];
+            } else {
+              for (int kk = 0; kk < k; ++kk) {
+                sum += a_at(a, trans_a, a_cols, i0 + r, kk) * bcol[kk];
+              }
+            }
+            acc[r][j] = sum;
+          }
+        }
+      }
+      store_tile(acc, c, i0, j0, mr, nr, n, alpha, beta);
+    }
+  }
+}
+
+// Fills column-matrix rows [cr0, cr1); each row is one (channel, ky, kx)
+// triple, filled column-major over (n, oy, ox) with zero padding.
+void im2col_rows(const float* in, const ConvGeometry& g, float* out, int cr0,
+                 int cr1) {
+  const int hw = g.h * g.w;
+  const int ohw = g.oh * g.ow;
+  const int col_cols = g.n * ohw;
+  for (int cr = cr0; cr < cr1; ++cr) {
+    const int kw_off = cr % g.kw;
+    const int kh_off = (cr / g.kw) % g.kh;
+    const int ch = cr / (g.kw * g.kh);
+    float* orow = out + static_cast<std::size_t>(cr) * col_cols;
+    for (int n = 0; n < g.n; ++n) {
+      const float* img = in + (static_cast<std::size_t>(n) * g.c + ch) * hw;
+      float* ocell = orow + static_cast<std::size_t>(n) * ohw;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        const int iy = oy * g.stride - g.pad + kh_off;
+        if (iy < 0 || iy >= g.h) {
+          std::fill(ocell, ocell + g.ow, 0.0f);
+          ocell += g.ow;
+          continue;
+        }
+        const float* irow = img + static_cast<std::size_t>(iy) * g.w;
+        for (int ox = 0; ox < g.ow; ++ox) {
+          const int ix = ox * g.stride - g.pad + kw_off;
+          *ocell++ = (ix < 0 || ix >= g.w) ? 0.0f : irow[ix];
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds the column rows of channels [c0, c1) into the pre-zeroed
+// gradient image, walking column-rows in the same ascending order as the
+// serial loop so the accumulation order stays bit-exact.
+void col2im_channels(const float* in, const ConvGeometry& g, float* out,
+                     int c0, int c1) {
+  const int hw = g.h * g.w;
+  const int ohw = g.oh * g.ow;
+  const int col_cols = g.n * ohw;
+  const int khw = g.kh * g.kw;
+  for (int cr = c0 * khw; cr < c1 * khw; ++cr) {
+    const int kw_off = cr % g.kw;
+    const int kh_off = (cr / g.kw) % g.kh;
+    const int ch = cr / (g.kw * g.kh);
+    const float* irow = in + static_cast<std::size_t>(cr) * col_cols;
+    for (int n = 0; n < g.n; ++n) {
+      float* img = out + (static_cast<std::size_t>(n) * g.c + ch) * hw;
+      const float* icell = irow + static_cast<std::size_t>(n) * ohw;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        const int iy = oy * g.stride - g.pad + kh_off;
+        if (iy < 0 || iy >= g.h) {
+          icell += g.ow;
+          continue;
+        }
+        float* orow = img + static_cast<std::size_t>(iy) * g.w;
+        for (int ox = 0; ox < g.ow; ++ox) {
+          const int ix = ox * g.stride - g.pad + kw_off;
+          const float v = *icell++;
+          if (ix >= 0 && ix < g.w) orow[ix] += v;
+        }
+      }
+    }
+  }
+}
+
+// One (sample, out-channel) output row per task: bias broadcast, then a
+// saxpy per nonzero weight. The zero-weight skip only changes measured
+// time, never results.
+void conv_forward_tasks(const float* weight, const float* bias,
+                        const float* cols, float* out, int out_c, int ckk,
+                        int cols_per_sample, int batch_cols, std::int64_t t0,
+                        std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const int n = static_cast<int>(t / out_c);
+    const int oc = static_cast<int>(t % out_c);
+    float* orow =
+        out + (static_cast<std::size_t>(n) * out_c + oc) * cols_per_sample;
+    std::fill(orow, orow + cols_per_sample, bias[oc]);
+    const float* wrow = weight + static_cast<std::size_t>(oc) * ckk;
+    for (int kk = 0; kk < ckk; ++kk) {
+      const float wv = wrow[kk];
+      if (wv == 0.0f) continue;
+      const float* crow = cols + static_cast<std::size_t>(kk) * batch_cols +
+                          static_cast<std::size_t>(n) * cols_per_sample;
+      for (int j = 0; j < cols_per_sample; ++j) orow[j] += wv * crow[j];
+    }
+  }
+}
+
+// Weight/bias gradient accumulation for out-channels [oc0, oc1): the batch
+// loop stays innermost and ascending with double accumulators, matching the
+// serial accumulation order bit for bit.
+void conv_backward_wgrad(const float* grad_out, const float* cols,
+                         float* weight_grad, float* bias_grad, int n,
+                         int out_c, int ckk, int ohw, int batch_cols, int oc0,
+                         int oc1) {
+  for (int oc = oc0; oc < oc1; ++oc) {
+    float* wrow = weight_grad + static_cast<std::size_t>(oc) * ckk;
+    for (int s = 0; s < n; ++s) {
+      const float* grow =
+          grad_out + (static_cast<std::size_t>(s) * out_c + oc) * ohw;
+      double acc = 0.0;
+      for (int j = 0; j < ohw; ++j) acc += grow[j];
+      bias_grad[oc] += static_cast<float>(acc);
+      // grad_W(OC x ckk) += g(OC x ohw) @ cols_slice^T(ohw x ckk)
+      for (int kk = 0; kk < ckk; ++kk) {
+        const float* crow = cols + static_cast<std::size_t>(kk) * batch_cols +
+                            static_cast<std::size_t>(s) * ohw;
+        double wacc = 0.0;
+        for (int j = 0; j < ohw; ++j) wacc += grow[j] * crow[j];
+        wrow[kk] += static_cast<float>(wacc);
+      }
+    }
+  }
+}
+
+// Column-gradient slices for samples [n0, n1):
+// grad_cols_slice(ckk x ohw) = W^T(ckk x OC) @ g(OC x ohw).
+void conv_backward_colgrad(const float* grad_out, const float* weight,
+                           float* grad_cols, int out_c, int ckk, int ohw,
+                           int batch_cols, int n0, int n1) {
+  for (int n = n0; n < n1; ++n) {
+    const float* g_slice =
+        grad_out + static_cast<std::size_t>(n) * out_c * ohw;
+    for (int kk = 0; kk < ckk; ++kk) {
+      float* gc = grad_cols + static_cast<std::size_t>(kk) * batch_cols +
+                  static_cast<std::size_t>(n) * ohw;
+      std::fill(gc, gc + ohw, 0.0f);
+      for (int oc = 0; oc < out_c; ++oc) {
+        const float wv = weight[static_cast<std::size_t>(oc) * ckk + kk];
+        if (wv == 0.0f) continue;
+        const float* grow = g_slice + static_cast<std::size_t>(oc) * ohw;
+        for (int j = 0; j < ohw; ++j) gc[j] += wv * grow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const Backend& scalar_backend() {
+  static const Backend kScalar{
+      "scalar",          gemm_rows,           im2col_rows,
+      col2im_channels,   conv_forward_tasks,  conv_backward_wgrad,
+      conv_backward_colgrad,
+  };
+  return kScalar;
+}
+
+}  // namespace a3cs::tensor::backend

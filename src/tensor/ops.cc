@@ -5,6 +5,7 @@
 
 #include "obs/perf/work_counters.h"
 #include "obs/profile.h"
+#include "tensor/backend/backend.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -12,116 +13,13 @@ namespace a3cs::tensor {
 
 namespace {
 
-// Register-tile sizes of the blocked GEMM micro-kernel. Per C element the
-// reduction always runs kk ascending, so results do not depend on the tile
-// sizes or on which shard computed the element. 4x8 = 32 accumulator floats
-// fits the baseline-SSE2 register file (16 xmm) without spilling.
-constexpr int kMR = 4;  // A rows per micro-tile
-constexpr int kNR = 8;  // C columns accumulated in registers
-
-// Row-panel grain for the parallel decomposition (a multiple of kMR) and the
-// minimum m*k*n below which a GEMM is not worth scheduling. Both are fixed
-// constants: shard boundaries must depend only on the problem shape.
+// Row-panel grain for the parallel GEMM decomposition and the minimum
+// m*k*n below which a GEMM is not worth scheduling. Both are fixed
+// constants: shard boundaries must depend only on the problem shape, and
+// they are shared by every kernel backend (the backend computes shards, the
+// orchestration here cuts them — see tensor/backend/backend.h).
 constexpr int kGemmRowGrain = 16;
 constexpr std::int64_t kGemmMinParallelWork = 1 << 16;
-
-inline float a_at(const float* a, bool trans_a, int a_cols, int i, int kk) {
-  return trans_a ? a[static_cast<std::size_t>(kk) * a_cols + i]
-                 : a[static_cast<std::size_t>(i) * a_cols + kk];
-}
-
-// Writes an accumulator tile back to C with the alpha/beta scaling applied
-// exactly once per output element.
-inline void store_tile(const float (*acc)[kNR], float* c, int i0, int j0,
-                       int mr, int nr, int n, float alpha, float beta) {
-  for (int r = 0; r < mr; ++r) {
-    float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
-    if (beta == 0.0f) {
-      for (int j = 0; j < nr; ++j) crow[j] = alpha * acc[r][j];
-    } else {
-      for (int j = 0; j < nr; ++j) {
-        crow[j] = beta * crow[j] + alpha * acc[r][j];
-      }
-    }
-  }
-}
-
-// Full kMR x kNR tile of the !trans_b path with COMPILE-TIME loop bounds:
-// at -O2 the constant-bound loops fully unroll and the accumulator tile
-// lives in registers for the whole kk reduction, so each A value and B row
-// segment is reused kMR times and C is touched once instead of k times.
-// (Variable-bound edge tiles spill the accumulator and run ~3x slower.)
-template <bool TransA>
-inline void micro_tile_full(const float* a, const float* b, float* c, int i0,
-                            int j0, int k, int n, float alpha, float beta,
-                            int a_cols, int b_cols) {
-  float acc[kMR][kNR] = {};
-  for (int kk = 0; kk < k; ++kk) {
-    const float* brow = b + static_cast<std::size_t>(kk) * b_cols + j0;
-    for (int r = 0; r < kMR; ++r) {
-      const float av = a_at(a, TransA, a_cols, i0 + r, kk);
-      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
-    }
-  }
-  store_tile(acc, c, i0, j0, kMR, kNR, n, alpha, beta);
-}
-
-// C[r0:r1, :] = alpha * A[r0:r1, :] @ B + beta * C[r0:r1, :].
-// Every C element reduces kk ascending on every path (full tiles, edge
-// tiles, trans_b dot products), so the result is independent of the tiling
-// and of which shard computed it.
-void gemm_rows(const float* a, bool trans_a, const float* b, bool trans_b,
-               float* c, int r0, int r1, int k, int n, float alpha, float beta,
-               int a_cols, int b_cols) {
-  for (int i0 = r0; i0 < r1; i0 += kMR) {
-    const int mr = std::min(kMR, r1 - i0);
-    int j_start = 0;
-    if (!trans_b && mr == kMR) {
-      // Fast path over the full tiles of this row panel.
-      for (; j_start + kNR <= n; j_start += kNR) {
-        if (trans_a) {
-          micro_tile_full<true>(a, b, c, i0, j_start, k, n, alpha, beta,
-                                a_cols, b_cols);
-        } else {
-          micro_tile_full<false>(a, b, c, i0, j_start, k, n, alpha, beta,
-                                 a_cols, b_cols);
-        }
-      }
-      if (j_start == n) continue;
-    }
-    for (int j0 = j_start; j0 < n; j0 += kNR) {
-      const int nr = std::min(kNR, n - j0);
-      float acc[kMR][kNR] = {};
-      if (!trans_b) {
-        for (int kk = 0; kk < k; ++kk) {
-          const float* brow = b + static_cast<std::size_t>(kk) * b_cols + j0;
-          for (int r = 0; r < mr; ++r) {
-            const float av = a_at(a, trans_a, a_cols, i0 + r, kk);
-            for (int j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
-          }
-        }
-      } else {
-        // B^T case: both reductions run over contiguous rows of A and B.
-        for (int j = 0; j < nr; ++j) {
-          const float* bcol = b + static_cast<std::size_t>(j0 + j) * b_cols;
-          for (int r = 0; r < mr; ++r) {
-            float sum = 0.0f;
-            if (!trans_a) {
-              const float* arow = a + static_cast<std::size_t>(i0 + r) * a_cols;
-              for (int kk = 0; kk < k; ++kk) sum += arow[kk] * bcol[kk];
-            } else {
-              for (int kk = 0; kk < k; ++kk) {
-                sum += a_at(a, trans_a, a_cols, i0 + r, kk) * bcol[kk];
-              }
-            }
-            acc[r][j] = sum;
-          }
-        }
-      }
-      store_tile(acc, c, i0, j0, mr, nr, n, alpha, beta);
-    }
-  }
-}
 
 }  // namespace
 
@@ -141,25 +39,29 @@ void gemm_raw(const float* a, bool trans_a, const float* b, bool trans_b,
     const std::int64_t mn = static_cast<std::int64_t>(m) * n;
     wc.add(2 * mk * n, 4 * (mk + kn), 4 * mn);
   }
+  // Resolve the kernel backend once per call so every shard of this region
+  // runs the same kernels even if another thread re-selects concurrently.
+  const backend::Backend& be = backend::active();
   if (k <= 0) {
     // Degenerate reduction: C = beta * C.
-    gemm_rows(a, trans_a, b, trans_b, c, 0, m, 0, n, alpha, beta, a_cols,
-              b_cols);
+    be.gemm_rows(a, trans_a, b, trans_b, c, 0, m, 0, n, alpha, beta, a_cols,
+                 b_cols);
     return;
   }
 
   const std::int64_t work =
       static_cast<std::int64_t>(m) * k * n;
   if (work < kGemmMinParallelWork) {
-    gemm_rows(a, trans_a, b, trans_b, c, 0, m, k, n, alpha, beta, a_cols,
-              b_cols);
+    be.gemm_rows(a, trans_a, b, trans_b, c, 0, m, k, n, alpha, beta, a_cols,
+                 b_cols);
     return;
   }
   util::parallel_for(
       0, m, kGemmRowGrain,
       [&](std::int64_t row0, std::int64_t row1) {
-        gemm_rows(a, trans_a, b, trans_b, c, static_cast<int>(row0),
-                  static_cast<int>(row1), k, n, alpha, beta, a_cols, b_cols);
+        be.gemm_rows(a, trans_a, b, trans_b, c, static_cast<int>(row0),
+                     static_cast<int>(row1), k, n, alpha, beta, a_cols,
+                     b_cols);
       },
       "gemm");
 }
@@ -218,39 +120,19 @@ void im2col(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
   }
   const float* in = input.data();
   float* out = cols.data();
-  const int hw = g.h * g.w;
-  const int ohw = g.oh * g.ow;
   // Each output row belongs to exactly one (channel, ky, kx) triple, so the
   // rows can be filled independently. Grain is derived from the row width
   // only, keeping shard boundaries thread-count independent.
+  const backend::Backend& be = backend::active();
   const std::int64_t grain =
       std::max<std::int64_t>(1, 32768 / std::max(1, col_cols));
-  util::parallel_for(0, col_rows, grain, [&](std::int64_t cr0,
-                                             std::int64_t cr1) {
-  for (int cr = static_cast<int>(cr0); cr < static_cast<int>(cr1); ++cr) {
-    const int kw_off = cr % g.kw;
-    const int kh_off = (cr / g.kw) % g.kh;
-    const int ch = cr / (g.kw * g.kh);
-    float* orow = out + static_cast<std::size_t>(cr) * col_cols;
-    for (int n = 0; n < g.n; ++n) {
-      const float* img = in + (static_cast<std::size_t>(n) * g.c + ch) * hw;
-      float* ocell = orow + static_cast<std::size_t>(n) * ohw;
-      for (int oy = 0; oy < g.oh; ++oy) {
-        const int iy = oy * g.stride - g.pad + kh_off;
-        if (iy < 0 || iy >= g.h) {
-          std::fill(ocell, ocell + g.ow, 0.0f);
-          ocell += g.ow;
-          continue;
-        }
-        const float* irow = img + static_cast<std::size_t>(iy) * g.w;
-        for (int ox = 0; ox < g.ow; ++ox) {
-          const int ix = ox * g.stride - g.pad + kw_off;
-          *ocell++ = (ix < 0 || ix >= g.w) ? 0.0f : irow[ix];
-        }
-      }
-    }
-  }
-  }, "im2col");
+  util::parallel_for(
+      0, col_rows, grain,
+      [&](std::int64_t cr0, std::int64_t cr1) {
+        be.im2col_rows(in, g, out, static_cast<int>(cr0),
+                       static_cast<int>(cr1));
+      },
+      "im2col");
 }
 
 void col2im(const Tensor& cols, const ConvGeometry& g, Tensor& grad_input) {
@@ -272,39 +154,18 @@ void col2im(const Tensor& cols, const ConvGeometry& g, Tensor& grad_input) {
   grad_input.zero();
   const float* in = cols.data();
   float* out = grad_input.data();
-  const int hw = g.h * g.w;
-  const int ohw = g.oh * g.ow;
   // The scatter-add overlaps between kernel offsets of the SAME channel but
   // never across channels, so channels are the race-free unit of work. Each
   // shard walks its channels' column rows in the same ascending order as the
   // serial loop, keeping the accumulation order bit-exact.
-  const int khw = g.kh * g.kw;
-  util::parallel_for(0, g.c, 1, [&](std::int64_t ch0, std::int64_t ch1) {
-  for (int cr = static_cast<int>(ch0) * khw; cr < static_cast<int>(ch1) * khw;
-       ++cr) {
-    const int kw_off = cr % g.kw;
-    const int kh_off = (cr / g.kw) % g.kh;
-    const int ch = cr / (g.kw * g.kh);
-    const float* irow = in + static_cast<std::size_t>(cr) * col_cols;
-    for (int n = 0; n < g.n; ++n) {
-      float* img = out + (static_cast<std::size_t>(n) * g.c + ch) * hw;
-      const float* icell = irow + static_cast<std::size_t>(n) * ohw;
-      for (int oy = 0; oy < g.oh; ++oy) {
-        const int iy = oy * g.stride - g.pad + kh_off;
-        if (iy < 0 || iy >= g.h) {
-          icell += g.ow;
-          continue;
-        }
-        float* orow = img + static_cast<std::size_t>(iy) * g.w;
-        for (int ox = 0; ox < g.ow; ++ox) {
-          const int ix = ox * g.stride - g.pad + kw_off;
-          const float v = *icell++;
-          if (ix >= 0 && ix < g.w) orow[ix] += v;
-        }
-      }
-    }
-  }
-  }, "col2im");
+  const backend::Backend& be = backend::active();
+  util::parallel_for(
+      0, g.c, 1,
+      [&](std::int64_t ch0, std::int64_t ch1) {
+        be.col2im_channels(in, g, out, static_cast<int>(ch0),
+                           static_cast<int>(ch1));
+      },
+      "col2im");
 }
 
 void softmax_rows(const Tensor& logits, Tensor& probs) {

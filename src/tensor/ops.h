@@ -7,6 +7,11 @@
 // element is produced by exactly one shard and its reduction order (kk
 // ascending in GEMM, column-row ascending in col2im) never depends on the
 // thread count. See docs/PERFORMANCE.md.
+//
+// The shard bodies dispatch through the pluggable kernel-backend table
+// (tensor/backend/backend.h, selected via A3CS_BACKEND): "scalar" is the
+// bit-exact blocked reference, "avx2" the FMA-fused SIMD backend —
+// per-backend determinism holds at every thread count either way.
 #pragma once
 
 #include "tensor/tensor.h"

@@ -5,6 +5,7 @@
 
 #include "arcade/games.h"
 #include "arcade/vec_env.h"
+#include "util/thread_pool.h"
 
 namespace a3cs {
 namespace {
@@ -304,6 +305,27 @@ TEST(VecEnv, AutoResetsAndCollectsScores) {
   const auto scores = vec.drain_episode_scores();
   EXPECT_GE(scores.size(), 4u);
   EXPECT_TRUE(vec.drain_episode_scores().empty());  // drained
+}
+
+TEST(VecEnv, SmallBatchStaysSerialOnParallelPool) {
+  // Regression for the committed vecenv_step baseline, where fanning a
+  // 32-env step over 8 threads was ~3x SLOWER than serial: batches below
+  // the min-work threshold must run inline even on a multi-thread pool.
+  util::ThreadPool::set_global_threads(4);
+  auto& pool = util::ThreadPool::global();
+  const std::int64_t parallel_before = pool.regions_parallel();
+  const std::int64_t inline_before = pool.regions_inline();
+  arcade::VecEnv vec("Catch", 32, 7);
+  vec.reset();
+  vec.step(std::vector<int>(32, 1));
+  EXPECT_EQ(pool.regions_parallel(), parallel_before);
+  EXPECT_EQ(pool.regions_inline(), inline_before + 2);
+
+  // A batch at the threshold still fans out.
+  arcade::VecEnv big("Catch", 64, 7);
+  big.reset();
+  EXPECT_GT(pool.regions_parallel(), parallel_before);
+  util::ThreadPool::set_global_threads(1);
 }
 
 TEST(VecEnv, EnvsEvolveIndependently) {

@@ -152,6 +152,28 @@ TEST(Lint, ConcStaticLocalAndMutableGlobal) {
   }
 }
 
+// ---------------------------------------------------- architecture ----
+
+TEST(Lint, ArchIntrinsicsScopedToBackendDir) {
+  // Outside src/tensor/backend/ the include and every intrinsic fire; the
+  // prose mention of immintrin.h in a comment must stay silent.
+  const auto in_nn = lint_fixture("arch_intrinsics.cc", "src/nn/fast_math.cc");
+  EXPECT_GE(count_rule(in_nn, "arch-intrinsics-scoped"), 5) << dump(in_nn);
+  bool saw_include = false;
+  for (const auto& f : in_nn) {
+    if (f.rule != "arch-intrinsics-scoped") continue;
+    EXPECT_NE(f.line, 6) << "comment mention fired: " << dump(in_nn);
+    saw_include |= f.line == 4;
+  }
+  EXPECT_TRUE(saw_include) << dump(in_nn);
+
+  // The backend directory is the sanctioned home for SIMD.
+  const auto in_backend = lint_fixture(
+      "arch_intrinsics.cc", "src/tensor/backend/kernels_avx2.cc");
+  EXPECT_EQ(count_rule(in_backend, "arch-intrinsics-scoped"), 0)
+      << dump(in_backend);
+}
+
 // ----------------------------------------------------------- hygiene ----
 
 TEST(Lint, HygPragmaOnceRequiredInHeaders) {
@@ -197,7 +219,7 @@ TEST(Lint, CleanFixturePassesEverywhere) {
 
 TEST(Lint, RuleCatalogSortedAndComplete) {
   const auto catalog = a3cs_lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 13u);
+  ASSERT_EQ(catalog.size(), 14u);
   for (std::size_t i = 1; i < catalog.size(); ++i) {
     EXPECT_LT(catalog[i - 1].first, catalog[i].first);
   }

@@ -1,0 +1,12 @@
+// Fixture for arch-intrinsics-scoped: SIMD intrinsics that are fine inside
+// src/tensor/backend/ but violations anywhere else. The comment below must
+// NOT fire — immintrin.h in prose is not an include.
+#include <immintrin.h>
+
+// Talking about immintrin.h here is harmless.
+
+float hsum(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  __m128 lo = _mm256_castps256_ps128(v);
+  return _mm_cvtss_f32(lo);
+}

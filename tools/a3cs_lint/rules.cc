@@ -259,6 +259,54 @@ struct Ctx {
   }
 };
 
+bool line_is_preprocessor(const Ctx& c, int line) {
+  const std::string& text = c.lex.lines[static_cast<std::size_t>(line - 1)];
+  const std::size_t first = text.find_first_not_of(" \t");
+  return first != std::string::npos && text[first] == '#';
+}
+
+// ---------------------------------------------- arch-intrinsics-scoped --
+
+// SIMD intrinsics are confined to src/tensor/backend/: every other layer
+// stays portable and reaches vector code through the Backend kernel table,
+// so a build without AVX2 only has to neuter one TU (kernels_avx2.cc
+// compiles to a nullptr stub) instead of auditing the whole tree.
+void rule_arch_intrinsics_scoped(const Ctx& c) {
+  if (starts_with(c.path, "src/tensor/backend/")) return;
+  // The lexer splits `#include <immintrin.h>` into punctuation + idents, so
+  // match the header name textually — but only on preprocessor lines, so a
+  // comment mentioning the header stays silent.
+  static const char* kHeaders[] = {"immintrin.h", "x86intrin.h",
+                                   "avxintrin.h", "emmintrin.h",
+                                   "xmmintrin.h", "arm_neon.h"};
+  for (std::size_t l = 1; l <= c.lex.lines.size(); ++l) {
+    if (!line_is_preprocessor(c, static_cast<int>(l))) continue;
+    const std::string& text = c.lex.lines[l - 1];
+    for (const char* header : kHeaders) {
+      if (text.find(header) != std::string::npos) {
+        c.report(static_cast<int>(l), "arch-intrinsics-scoped",
+                 std::string("#include <") + header +
+                     "> outside src/tensor/backend/ — SIMD code lives "
+                     "behind the kernel-backend table");
+      }
+    }
+  }
+  const auto& toks = c.toks();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool intrinsic =
+        t.rfind("_mm_", 0) == 0 || t.rfind("_mm256_", 0) == 0 ||
+        t.rfind("_mm512_", 0) == 0 || t.rfind("__m128", 0) == 0 ||
+        t.rfind("__m256", 0) == 0 || t.rfind("__m512", 0) == 0;
+    if (intrinsic) {
+      c.report(toks[i].line, "arch-intrinsics-scoped",
+               t + " outside src/tensor/backend/ — add a Backend kernel "
+                   "entry instead of inlining SIMD in portable code");
+    }
+  }
+}
+
 // ---------------------------------------------------------------- det-rand --
 
 void rule_det_rand(const Ctx& c) {
@@ -542,12 +590,6 @@ void rule_conc_static_local(const Ctx& c) {
 
 // ------------------------------------------------------ conc-mutable-global --
 
-bool line_is_preprocessor(const Ctx& c, int line) {
-  const std::string& text = c.lex.lines[static_cast<std::size_t>(line - 1)];
-  const std::size_t first = text.find_first_not_of(" \t");
-  return first != std::string::npos && text[first] == '#';
-}
-
 void rule_conc_mutable_global(const Ctx& c) {
   if (!starts_with(c.path, "src/")) return;
   const auto& toks = c.toks();
@@ -654,6 +696,7 @@ std::vector<Finding> lint_source(const std::string& path,
   std::vector<Finding> all;
   const Ctx ctx{path, lexed, scopes, &all};
 
+  rule_arch_intrinsics_scoped(ctx);
   rule_det_rand(ctx);
   rule_det_time_seed(ctx);
   rule_det_wall_clock(ctx);
@@ -684,6 +727,9 @@ std::vector<Finding> lint_source(const std::string& path,
 
 std::vector<std::pair<std::string, std::string>> rule_catalog() {
   return {
+      {"arch-intrinsics-scoped",
+       "SIMD intrinsics (<immintrin.h>, _mm*/__m*) outside "
+       "src/tensor/backend/"},
       {"conc-mutable-global",
        "mutable namespace-scope variable in src/ without atomic/mutex type"},
       {"conc-raw-thread",

@@ -5,6 +5,8 @@
 // suite exercises scoping without touching real tree paths.
 //
 // Rule ids (stable; used by inline suppressions and the baseline file):
+//   arch-intrinsics-scoped  SIMD intrinsics (<immintrin.h>, _mm*/__m*)
+//                           outside src/tensor/backend/
 //   det-rand                rand()/srand()/std::random_device outside src/util/
 //   det-time-seed           RNG seeds derived from wall clocks/counters
 //   det-wall-clock          any clock in numeric code (tensor/nn/nas/rl/das/

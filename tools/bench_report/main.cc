@@ -174,13 +174,23 @@ int main(int argc, char** argv) {
             << ") vs current " << current.meta.git_sha << " ("
             << current.meta.host << "), threshold " << max_regress_pct
             << "%\n";
-  util::TextTable table(
-      {"bench/config/threads", "base ms", "cur ms", "delta %", "verdict"});
+  util::TextTable table({"bench/config/threads", "base ms", "cur ms",
+                         "delta %", "base tp", "cur tp", "unit", "verdict"});
   for (const DiffRow& row : rows) {
-    table.add_row({row.key, util::TextTable::num(row.baseline_median_ms, 3),
-                   util::TextTable::num(row.current_median_ms, 3),
-                   util::TextTable::num(row.delta_pct, 1),
-                   obs::perf::verdict_name(row.verdict)});
+    const bool has_tp =
+        row.baseline_throughput > 0.0 || row.current_throughput > 0.0;
+    table.add_row(
+        {row.key, util::TextTable::num(row.baseline_median_ms, 3),
+         util::TextTable::num(row.current_median_ms, 3),
+         util::TextTable::num(row.delta_pct, 1),
+         row.baseline_throughput > 0.0
+             ? util::TextTable::num(row.baseline_throughput, 1)
+             : "",
+         row.current_throughput > 0.0
+             ? util::TextTable::num(row.current_throughput, 1)
+             : "",
+         has_tp ? row.throughput_unit : "",
+         obs::perf::verdict_name(row.verdict)});
   }
   table.print(std::cout);
 
