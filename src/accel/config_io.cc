@@ -39,6 +39,11 @@ double to_double(const std::string& s) {
 
 std::string encode_config(const AcceleratorConfig& config) {
   std::ostringstream oss;
+  // max_digits10 so the buffer-split doubles survive decode(encode(cfg))
+  // byte-identically — the encoded text is the canonical form behind the
+  // serving layer's cache keys, where a ULP of drift would make the same
+  // config hash differently after a wire round trip (docs/SERVING.md).
+  oss.precision(17);
   oss << "chunks=" << config.num_chunks() << ";alloc=";
   for (std::size_t i = 0; i < config.group_to_chunk.size(); ++i) {
     if (i > 0) oss << ",";

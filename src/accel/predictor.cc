@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <sstream>
 
 #include "obs/metrics.h"
@@ -73,21 +74,53 @@ Predictor::Predictor(FpgaBudget budget, EnergyModel energy,
                      CostWeights weights)
     : budget_(budget), energy_(energy), weights_(weights) {}
 
-LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
+namespace {
+
+// The one spec -> workload decomposition, shared by prepare_network and the
+// stack-buffered one-shot path in evaluate(specs, ...) so the two entry
+// points stay bit-exact by construction.
+inline LayerWorkload layer_workload(const nn::LayerSpec& spec) {
+  using Kind = nn::LayerSpec::Kind;
+  LayerWorkload wl;
+  wl.macs = static_cast<double>(spec.macs());
+  // Depthwise layers have no input-channel reduction to parallelize, which
+  // is exactly why dataflow choice matters per layer.
+  wl.ic = spec.kind == Kind::kDepthwiseConv ? 1 : spec.in_c;
+  wl.oc = spec.out_c;
+  wl.out_h = spec.out_h;
+  wl.out_w = spec.out_w;
+  wl.kernel = spec.kernel;
+  wl.group = spec.group;
+  wl.in_bytes = static_cast<double>(spec.input_elems()) * 2.0;
+  wl.w_bytes = static_cast<double>(spec.weight_elems()) * 2.0;
+  wl.out_bytes = static_cast<double>(spec.output_elems()) * 2.0;
+  wl.psum_bytes = static_cast<double>(spec.output_elems()) * 4.0;
+  return wl;
+}
+
+}  // namespace
+
+PreparedNetwork prepare_network(const std::vector<nn::LayerSpec>& specs) {
+  PreparedNetwork net;
+  net.num_groups = nn::num_groups(specs);
+  net.layers.reserve(specs.size());
+  for (const nn::LayerSpec& spec : specs) {
+    net.layers.push_back(layer_workload(spec));
+  }
+  return net;
+}
+
+LayerCost Predictor::layer_cost(const LayerWorkload& wl,
                                 const ChunkConfig& chunk,
                                 double chunk_sram_bytes,
                                 double bytes_per_cycle) const {
-  using Kind = nn::LayerSpec::Kind;
   LayerCost out;
 
-  const double macs = static_cast<double>(spec.macs());
-  const int out_spatial = spec.out_h * spec.out_w;
+  const double macs = wl.macs;
 
   // --- effective parallelism under the chosen dataflow ------------------
-  // Depthwise layers have no input-channel reduction to parallelize, which
-  // is exactly why dataflow choice matters per layer.
-  const int ic = spec.kind == Kind::kDepthwiseConv ? 1 : spec.in_c;
-  const int oc = spec.out_c;
+  const int ic = wl.ic;
+  const int oc = wl.oc;
   double par = 1.0;
   switch (chunk.dataflow) {
     case Dataflow::kWeightStationary: {
@@ -97,14 +130,14 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
       break;
     }
     case Dataflow::kOutputStationary: {
-      const int p_h = std::min(chunk.pe_rows, spec.out_h);
-      const int p_w = std::min(chunk.pe_cols, spec.out_w);
+      const int p_h = std::min(chunk.pe_rows, wl.out_h);
+      const int p_w = std::min(chunk.pe_cols, wl.out_w);
       par = static_cast<double>(p_h) * p_w;
       break;
     }
     case Dataflow::kRowStationary: {
-      const int p_k = std::min(chunk.pe_rows, spec.kernel * spec.kernel);
-      const int p_r = std::min(chunk.pe_cols, spec.out_h * std::min(oc, 4));
+      const int p_k = std::min(chunk.pe_rows, wl.kernel * wl.kernel);
+      const int p_r = std::min(chunk.pe_cols, wl.out_h * std::min(oc, 4));
       par = static_cast<double>(p_k) * p_r;
       break;
     }
@@ -135,10 +168,10 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
   out.compute_cycles = macs / (par * noc_eff) + fill_drain;
 
   // --- memory traffic ------------------------------------------------------
-  const double in_bytes = static_cast<double>(spec.input_elems()) * 2.0;
-  const double w_bytes = static_cast<double>(spec.weight_elems()) * 2.0;
-  const double out_bytes = static_cast<double>(spec.output_elems()) * 2.0;
-  const double psum_bytes = static_cast<double>(spec.output_elems()) * 4.0;
+  const double in_bytes = wl.in_bytes;
+  const double w_bytes = wl.w_bytes;
+  const double out_bytes = wl.out_bytes;
+  const double psum_bytes = wl.psum_bytes;
 
   const double cap_in = chunk.split.input * chunk_sram_bytes;
   const double cap_w = chunk.split.weight * chunk_sram_bytes;
@@ -157,7 +190,7 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
   double w_refetch = 1.0;
   if (2.0 * w_bytes > cap_w &&
       chunk.dataflow != Dataflow::kWeightStationary) {
-    w_refetch = std::min<double>(4.0, std::max(1, spec.out_h / 4));
+    w_refetch = std::min<double>(4.0, std::max(1, wl.out_h / 4));
   }
   // Partial sums spill per input-channel tile when the accumulators don't
   // fit on chip.
@@ -186,7 +219,6 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
   // per-layer launch overhead.
   constexpr double kLaunchOverheadCycles = 64.0;
   out.compute_cycles += kLaunchOverheadCycles;
-  (void)out_spatial;
 
   out.cycles = std::max(out.compute_cycles, out.memory_cycles);
   return out;
@@ -194,17 +226,32 @@ LayerCost Predictor::layer_cost(const nn::LayerSpec& spec,
 
 HwEval Predictor::evaluate(const std::vector<nn::LayerSpec>& specs,
                            const AcceleratorConfig& config) const {
+  return evaluate_loop(
+      specs.size(), nn::num_groups(specs), config,
+      [&specs](std::size_t i) { return layer_workload(specs[i]); });
+}
+
+HwEval Predictor::evaluate(const PreparedNetwork& net,
+                           const AcceleratorConfig& config) const {
+  return evaluate_loop(
+      net.layers.size(), net.num_groups, config,
+      [&net](std::size_t i) -> const LayerWorkload& { return net.layers[i]; });
+}
+
+template <typename LayerAt>
+HwEval Predictor::evaluate_loop(std::size_t num_layers, int num_groups,
+                                const AcceleratorConfig& config,
+                                LayerAt&& layer_at) const {
   A3CS_PROF_SCOPE("predictor-eval");
   static obs::Counter& evals =
       obs::MetricsRegistry::global().counter("predictor.evals");
   evals.inc();
   A3CS_CHECK(!config.chunks.empty(), "accelerator needs at least one chunk");
-  const int groups = nn::num_groups(specs);
-  A3CS_CHECK(static_cast<int>(config.group_to_chunk.size()) >= groups,
+  A3CS_CHECK(static_cast<int>(config.group_to_chunk.size()) >= num_groups,
              "group_to_chunk smaller than the network's group count");
 
   HwEval eval;
-  eval.layers.reserve(specs.size());
+  eval.layers.reserve(num_layers);
   eval.chunk_cycles.assign(static_cast<std::size_t>(config.num_chunks()), 0.0);
 
   // Resources: 1 DSP per PE; SRAM and DRAM bandwidth shared in proportion to
@@ -229,13 +276,14 @@ HwEval Predictor::evaluate(const std::vector<nn::LayerSpec>& specs,
 
   std::vector<double> chunk_sram_needed(
       static_cast<std::size_t>(config.num_chunks()), 0.0);
-  for (const nn::LayerSpec& spec : specs) {
+  for (std::size_t li = 0; li < num_layers; ++li) {
+    const LayerWorkload& wl = layer_at(li);
     const int chunk_idx =
-        config.group_to_chunk[static_cast<std::size_t>(spec.group)];
+        config.group_to_chunk[static_cast<std::size_t>(wl.group)];
     A3CS_CHECK(chunk_idx >= 0 && chunk_idx < config.num_chunks(),
                "layer allocated to a nonexistent chunk");
     LayerCost lc = layer_cost(
-        spec, config.chunks[static_cast<std::size_t>(chunk_idx)],
+        wl, config.chunks[static_cast<std::size_t>(chunk_idx)],
         chunk_sram[static_cast<std::size_t>(chunk_idx)],
         chunk_bw[static_cast<std::size_t>(chunk_idx)]);
     lc.chunk = chunk_idx;

@@ -16,12 +16,40 @@
 // BRAM slices proportional to each chunk's DSP share.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "accel/hw_types.h"
 #include "nn/layer_spec.h"
 
 namespace a3cs::accel {
+
+// Config-independent per-layer workload quantities — everything evaluate()
+// needs from a LayerSpec, decomposed once per network instead of once per
+// candidate config. The serving layer (src/serve) hoists this out of the
+// per-config loop: a batched request touching thousands of configs pays the
+// decomposition exactly once. Values are the *same doubles* the spec-based
+// path computes, so prepared evaluation is bit-exact with evaluate(specs,...).
+struct LayerWorkload {
+  double macs = 0.0;
+  int ic = 1;  // reduction channels (1 for depthwise — nothing to reduce)
+  int oc = 1;
+  int out_h = 1, out_w = 1;
+  int kernel = 1;
+  int group = 0;
+  double in_bytes = 0.0;
+  double w_bytes = 0.0;
+  double out_bytes = 0.0;
+  double psum_bytes = 0.0;
+};
+
+struct PreparedNetwork {
+  std::vector<LayerWorkload> layers;
+  int num_groups = 0;
+};
+
+// Decomposes a network once; reusable across any number of evaluate() calls.
+PreparedNetwork prepare_network(const std::vector<nn::LayerSpec>& specs);
 
 struct LayerCost {
   double compute_cycles = 0.0;
@@ -80,6 +108,12 @@ class Predictor {
   HwEval evaluate(const std::vector<nn::LayerSpec>& specs,
                   const AcceleratorConfig& config) const;
 
+  // Same evaluation from a hoisted decomposition (bit-exact with the
+  // spec-based overload; see LayerWorkload). The fast path for batched
+  // serving, where one network meets thousands of candidate configs.
+  HwEval evaluate(const PreparedNetwork& net,
+                  const AcceleratorConfig& config) const;
+
   // Scalar hardware cost L_cost for the search: weighted II (+ energy) plus
   // a smooth barrier on resource overflow (infeasible points stay
   // differentiable targets rather than NaNs).
@@ -90,7 +124,19 @@ class Predictor {
   const CostWeights& cost_weights() const { return weights_; }
 
  private:
-  LayerCost layer_cost(const nn::LayerSpec& spec, const ChunkConfig& chunk,
+  // Shared body of both evaluate() overloads, abstracted over how the i-th
+  // LayerWorkload is obtained: the spec-based path decomposes each layer
+  // on the fly (no per-call allocation or materialized array — this overload
+  // sits inside the DAS/NAS inner loops and a per-call heap pass measurably
+  // regresses bench predictor_eval), the prepared path reads its hoisted
+  // vector. Identical arithmetic in identical order keeps the two entry
+  // points bit-exact. Defined in predictor.cc; instantiated only there.
+  template <typename LayerAt>
+  HwEval evaluate_loop(std::size_t num_layers, int num_groups,
+                       const AcceleratorConfig& config,
+                       LayerAt&& layer_at) const;
+
+  LayerCost layer_cost(const LayerWorkload& wl, const ChunkConfig& chunk,
                        double chunk_sram_bytes, double bytes_per_cycle) const;
 
   FpgaBudget budget_;

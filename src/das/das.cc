@@ -6,12 +6,11 @@
 
 #include "accel/config_io.h"
 #include "obs/metrics.h"
-#include "obs/perf/work_counters.h"
 #include "obs/profile.h"
+#include "serve/service.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
 #include "util/state_io.h"
-#include "util/thread_pool.h"
 
 namespace a3cs::das {
 
@@ -31,40 +30,33 @@ struct DrawnSample {
 
 struct EvaluatedSample {
   accel::AcceleratorConfig config;
-  accel::HwEval eval;
-  double cost = 0.0;
+  serve::CachedEvalPtr value;  // shared with the service's memo-cache
+
+  const accel::HwEval& eval() const { return value->eval; }
+  double cost() const { return value->cost; }
 };
 
-void evaluate_batch(const AcceleratorSpace& space, const Predictor& predictor,
-                    const std::vector<nn::LayerSpec>& specs,
+// All predictor sweeps go through the serving layer: the per-layer
+// decomposition is hoisted into `net`, repeated configs hit the memo-cache,
+// and PredictorService::evaluate_batch fans the misses over the pool with
+// fixed sharding — bit-exact with a serial loop at any thread count.
+void evaluate_batch(const AcceleratorSpace& space,
+                    serve::PredictorService& service,
+                    const serve::PreparedNet& net,
                     const std::vector<DrawnSample>& drawn,
                     std::vector<EvaluatedSample>& out) {
-  out.resize(drawn.size());
   A3CS_PROF_SCOPE("das-eval");
-  {
-    // Documented estimate, not a measured count: the analytic predictor does
-    // a few dozen scalar ops per layer spec, so a sweep is roughly
-    // samples * layers * 64 flops. Good enough to rank the sweep against the
-    // tensor kernels in roofline views.
-    static obs::perf::WorkCounters& wc =
-        obs::perf::WorkCounters::named("das-eval");
-    const std::int64_t evals =
-        static_cast<std::int64_t>(drawn.size()) *
-        static_cast<std::int64_t>(specs.size());
-    wc.add(64 * evals, 0, 0);
+  std::vector<accel::AcceleratorConfig> configs(drawn.size());
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    configs[i] = space.decode(drawn[i].choices);
   }
-  util::parallel_for(
-      0, static_cast<std::int64_t>(drawn.size()), 1,
-      [&](std::int64_t b, std::int64_t e) {
-        for (std::int64_t i = b; i < e; ++i) {
-          EvaluatedSample& dst = out[static_cast<std::size_t>(i)];
-          dst.config =
-              space.decode(drawn[static_cast<std::size_t>(i)].choices);
-          dst.eval = predictor.evaluate(specs, dst.config);
-          dst.cost = predictor.scalar_cost(dst.eval);
-        }
-      },
-      "das-eval");
+  std::vector<serve::ServeResult> results =
+      service.evaluate_batch(net, configs);
+  out.resize(drawn.size());
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    out[i].config = std::move(configs[i]);
+    out[i].value = std::move(results[i].value);
+  }
 }
 
 }  // namespace
@@ -73,6 +65,7 @@ DasEngine::DasEngine(const AcceleratorSpace& space, const Predictor& predictor,
                      DasConfig cfg)
     : space_(space),
       predictor_(predictor),
+      service_(predictor),
       cfg_(cfg),
       opt_(cfg.lr),
       rng_(cfg.seed),
@@ -96,6 +89,9 @@ double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
   params.reserve(phis_.size());
   for (auto& phi : phis_) params.push_back(&phi.param());
 
+  // Hoist the per-layer decomposition + signature once per step() call; the
+  // co-search loop mutates the network between calls, never within one.
+  const serve::PreparedNet net = service_.prepare(specs);
   std::vector<DrawnSample> drawn;
   std::vector<EvaluatedSample> evaluated;
   for (int it = 0; it < n; ++it) {
@@ -123,25 +119,25 @@ double DasEngine::step(const std::vector<nn::LayerSpec>& specs, int n) {
     }
 
     // Phase 2 (parallel): evaluate the predictor on every drawn config.
-    evaluate_batch(space_, predictor_, specs, drawn, evaluated);
+    evaluate_batch(space_, service_, net, drawn, evaluated);
 
     // Phase 3 (serial, in draw order): incumbent, baseline and gradients.
     for (int s = 0; s < samples_per_iter; ++s) {
       const DrawnSample& d = drawn[static_cast<std::size_t>(s)];
       const EvaluatedSample& ev = evaluated[static_cast<std::size_t>(s)];
       if (!has_best_seen_ ||
-          (ev.eval.feasible && !best_seen_eval_.feasible) ||
-          (ev.eval.feasible == best_seen_eval_.feasible &&
-           ev.cost < best_seen_cost_)) {
+          (ev.eval().feasible && !best_seen_eval_.feasible) ||
+          (ev.eval().feasible == best_seen_eval_.feasible &&
+           ev.cost() < best_seen_cost_)) {
         has_best_seen_ = true;
         best_seen_config_ = ev.config;
-        best_seen_eval_ = ev.eval;
-        best_seen_cost_ = ev.cost;
+        best_seen_eval_ = ev.eval();
+        best_seen_cost_ = ev.cost();
       }
       if (d.explore) continue;
-      last_cost = ev.cost;
+      last_cost = ev.cost();
 
-      double signal = cfg_.log_cost ? std::log(ev.cost + 1e-9) : ev.cost;
+      double signal = cfg_.log_cost ? std::log(ev.cost() + 1e-9) : ev.cost();
       if (cfg_.use_baseline) {
         if (!baseline_init_) {
           baseline_ = signal;
@@ -292,14 +288,18 @@ DasResult DasEngine::search(const std::vector<nn::LayerSpec>& specs) {
   result.best_cost = std::numeric_limits<double>::infinity();
   bool have_best = false;
   result.cost_curve.reserve(static_cast<std::size_t>(cfg_.iterations));
+  const serve::PreparedNet net = service_.prepare(specs);
   for (int it = 0; it < cfg_.iterations; ++it) {
     const double cost = step(specs, 1);
     result.cost_curve.push_back(cost);
-    // Track the best *derived* config periodically (and at the end).
+    // Track the best *derived* config periodically (and at the end). The
+    // derived argmax often repeats across checks once phi converges, so this
+    // goes through the memo-cache too.
     if ((it + 1) % 25 == 0 || it + 1 == cfg_.iterations) {
       const AcceleratorConfig cand = derive();
-      const HwEval eval = predictor_.evaluate(specs, cand);
-      const double cand_cost = predictor_.scalar_cost(eval);
+      const serve::ServeResult r = service_.evaluate_one(net, cand);
+      const HwEval& eval = r.eval();
+      const double cand_cost = r.cost();
       if (!have_best || (eval.feasible && !result.eval.feasible) ||
           (eval.feasible == result.eval.feasible &&
            cand_cost < result.best_cost)) {
@@ -333,6 +333,8 @@ DasResult random_search(const AcceleratorSpace& space,
   bool have_best = false;
   // Draw serially (fixed RNG order), evaluate in parallel blocks, reduce
   // serially in draw order — identical results at any thread count.
+  serve::PredictorService service(predictor);
+  const serve::PreparedNet net = service.prepare(specs);
   constexpr int kBlock = 256;
   std::vector<DrawnSample> drawn;
   std::vector<EvaluatedSample> evaluated;
@@ -342,17 +344,17 @@ DasResult random_search(const AcceleratorSpace& space,
     for (int i = 0; i < count; ++i) {
       drawn[static_cast<std::size_t>(i)].choices = space.random_choices(rng);
     }
-    evaluate_batch(space, predictor, specs, drawn, evaluated);
+    evaluate_batch(space, service, net, drawn, evaluated);
     for (int i = 0; i < count; ++i) {
       const EvaluatedSample& ev = evaluated[static_cast<std::size_t>(i)];
-      result.cost_curve.push_back(ev.cost);
-      if (!have_best || (ev.eval.feasible && !result.eval.feasible) ||
-          (ev.eval.feasible == result.eval.feasible &&
-           ev.cost < result.best_cost)) {
+      result.cost_curve.push_back(ev.cost());
+      if (!have_best || (ev.eval().feasible && !result.eval.feasible) ||
+          (ev.eval().feasible == result.eval.feasible &&
+           ev.cost() < result.best_cost)) {
         have_best = true;
         result.config = ev.config;
-        result.eval = ev.eval;
-        result.best_cost = ev.cost;
+        result.eval = ev.eval();
+        result.best_cost = ev.cost();
       }
     }
   }
@@ -371,6 +373,8 @@ DasResult exhaustive_search(const AcceleratorSpace& space,
   std::vector<int> choices(static_cast<std::size_t>(space.num_knobs()), 0);
   // Enumerate the odometer serially into fixed-size blocks, evaluate each
   // block in parallel, reduce serially in enumeration order.
+  serve::PredictorService service(predictor);
+  const serve::PreparedNet net = service.prepare(specs);
   constexpr int kBlock = 512;
   std::vector<DrawnSample> drawn;
   std::vector<EvaluatedSample> evaluated;
@@ -392,15 +396,15 @@ DasResult exhaustive_search(const AcceleratorSpace& space,
       }
       if (k == space.num_knobs()) exhausted = true;
     }
-    evaluate_batch(space, predictor, specs, drawn, evaluated);
+    evaluate_batch(space, service, net, drawn, evaluated);
     for (const EvaluatedSample& ev : evaluated) {
-      if (!have_best || (ev.eval.feasible && !result.eval.feasible) ||
-          (ev.eval.feasible == result.eval.feasible &&
-           ev.cost < result.best_cost)) {
+      if (!have_best || (ev.eval().feasible && !result.eval.feasible) ||
+          (ev.eval().feasible == result.eval.feasible &&
+           ev.cost() < result.best_cost)) {
         have_best = true;
         result.config = ev.config;
-        result.eval = ev.eval;
-        result.best_cost = ev.cost;
+        result.eval = ev.eval();
+        result.best_cost = ev.cost();
       }
     }
   }

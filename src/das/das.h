@@ -19,6 +19,7 @@
 #include "accel/space.h"
 #include "nas/gumbel.h"
 #include "nn/optim.h"
+#include "serve/service.h"
 #include "util/rng.h"
 
 namespace a3cs::das {
@@ -87,13 +88,21 @@ class DasEngine {
   // Checkpointing: the COMPLETE search state — phi logits, their Adam
   // moments, the sample RNG, temperature, EMA baseline and the incumbent —
   // so a restored engine continues the search bit-exactly. load throws on
-  // knob-count mismatch or truncation.
+  // knob-count mismatch or truncation. The memo-cache is deliberately NOT
+  // serialized: the predictor is pure, so a cold cache only re-derives
+  // bit-identical values.
   void save_state(std::ostream& out) const;
   void load_state(std::istream& in);
+
+  // The serving front end every predictor sweep goes through (memo-cache +
+  // batched evaluation; src/serve). Exposed for cache stats/clearing.
+  serve::PredictorService& service() { return service_; }
+  const serve::PredictorService& service() const { return service_; }
 
  private:
   const AcceleratorSpace& space_;
   const Predictor& predictor_;
+  serve::PredictorService service_;
   DasConfig cfg_;
   std::vector<nas::GumbelCategorical> phis_;
   nn::Adam opt_;

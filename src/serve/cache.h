@@ -1,0 +1,155 @@
+// Sharded memo-cache for predictor evaluations (docs/SERVING.md).
+//
+// N mutex-striped shards, each an LRU list + hash index keyed by the 128-bit
+// canonical digest (serve/key.h). Values are shared_ptr<const CachedEval>,
+// so a hit costs one shard lock, one hash probe and a refcount bump — no
+// HwEval deep copy — and an entry evicted mid-flight stays alive for the
+// clients already holding it.
+//
+// Concurrency: every shard operation is safe from any thread. peek() reads
+// without promoting, so batched callers can fan lookups across the pool and
+// replay recency updates serially (PredictorService does exactly this; the
+// cache's content after a batch is then a pure function of the batch
+// sequence, independent of thread count). Correctness never depends on cache
+// state: the predictor is pure, so a lost entry only costs a recompute of a
+// bit-identical value.
+//
+// Env overrides (CacheConfig::with_env_overrides):
+//   A3CS_CACHE=0|1            disable/enable caching (default on)
+//   A3CS_CACHE_SHARDS=N       mutex stripes (default 8)
+//   A3CS_CACHE_CAPACITY=N     total entries across shards (default 8192)
+//
+// Metrics: hits/misses/inserts/evictions tick the process-global
+// serve.cache.* counters as they happen; publish_metrics() refreshes the
+// serve.cache.{occupancy,capacity,shards,hit_rate} gauges from this
+// instance (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/predictor.h"
+#include "serve/key.h"
+
+namespace a3cs::serve {
+
+struct CacheConfig {
+  int shards = 8;
+  std::int64_t capacity = 8192;  // total entries, split evenly across shards
+  bool enabled = true;
+
+  // Returns a copy with A3CS_CACHE / A3CS_CACHE_SHARDS / A3CS_CACHE_CAPACITY
+  // applied on top (env wins). Out-of-range values are clamped to >= 1.
+  CacheConfig with_env_overrides() const;
+};
+
+// One memoized evaluation: the full HwEval plus the predictor's scalar cost.
+struct CachedEval {
+  accel::HwEval eval;
+  double cost = 0.0;
+};
+using CachedEvalPtr = std::shared_ptr<const CachedEval>;
+
+class ShardedCache {
+ public:
+  explicit ShardedCache(CacheConfig cfg = CacheConfig{});
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  // Hit: promotes the entry to most-recently-used and returns it.
+  // Miss (or cache disabled): returns nullptr. Counts a hit or miss.
+  CachedEvalPtr lookup(const CacheKey& key);
+
+  // Like lookup() but never touches recency (for parallel lookup phases
+  // whose recency updates are replayed serially via touch()).
+  CachedEvalPtr peek(const CacheKey& key);
+
+  // Promotes `key` to most-recently-used if present; no-op otherwise.
+  void touch(const CacheKey& key);
+
+  // Inserts (or refreshes) an entry as most-recently-used, evicting from the
+  // shard's LRU tail while over per-shard capacity. No-op when disabled.
+  void insert(const CacheKey& key, CachedEvalPtr value);
+
+  // One step of a batched recency replay: insert `*insert_value` when
+  // non-null, touch otherwise (see replay()).
+  struct ReplayOp {
+    CacheKey key;
+    const CachedEvalPtr* insert_value = nullptr;  // null => touch
+  };
+
+  // Applies ops in index order *within each shard*, taking every shard lock
+  // once instead of once per op. Shards are mutually independent LRU
+  // domains, so the resulting cache state is byte-identical to issuing the
+  // ops one at a time in sequence. This is the serial-replay fast path of
+  // PredictorService::evaluate_batch — per-op lock round trips dominated the
+  // warm-batch profile before batching.
+  void replay(const std::vector<ReplayOp>& ops);
+
+  void clear();
+
+  bool enabled() const { return cfg_.enabled; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+  std::int64_t capacity() const { return capacity_total_; }
+  std::int64_t size() const;
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t evictions = 0;
+    std::int64_t size = 0;
+    std::int64_t capacity = 0;
+    int shards = 0;
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  // Refreshes the serve.cache.* gauges from this instance's stats.
+  void publish_metrics() const;
+
+ private:
+  struct Entry {
+    Digest128 key;
+    CachedEvalPtr value;
+  };
+  struct DigestHash {
+    std::size_t operator()(const Digest128& d) const noexcept {
+      return static_cast<std::size_t>(d.lo);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Digest128, std::list<Entry>::iterator, DigestHash> map;
+  };
+
+  Shard& shard_for(const CacheKey& key) {
+    // hi selects the stripe, lo feeds the in-shard hash — decorrelated, so
+    // one hot bucket never serializes every stripe.
+    return *shards_[static_cast<std::size_t>(key.digest.hi %
+                                             shards_.size())];
+  }
+
+  CacheConfig cfg_;
+  std::int64_t capacity_total_ = 0;
+  std::int64_t capacity_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> inserts_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace a3cs::serve

@@ -1,0 +1,67 @@
+#include "serve/key.h"
+
+#include <cstdio>
+
+#include "accel/config_io.h"
+
+namespace a3cs::serve {
+
+NetworkSignature network_signature(const std::vector<nn::LayerSpec>& specs) {
+  Hash128 h;
+  h.u64(specs.size());
+  for (const nn::LayerSpec& spec : specs) {
+    h.i32(static_cast<int>(spec.kind));
+    h.i32(spec.in_c);
+    h.i32(spec.out_c);
+    h.i32(spec.kernel);
+    h.i32(spec.stride);
+    h.i32(spec.in_h);
+    h.i32(spec.in_w);
+    h.i32(spec.out_h);
+    h.i32(spec.out_w);
+    h.i32(spec.group);
+  }
+  NetworkSignature sig;
+  sig.digest = h.digest();
+  sig.num_layers = static_cast<int>(specs.size());
+  sig.num_groups = nn::num_groups(specs);
+  return sig;
+}
+
+CacheKey cache_key(const NetworkSignature& net,
+                   const accel::AcceleratorConfig& config,
+                   std::uint64_t salt) {
+  // Field order mirrors accel::encode_config: chunk count, the allocation
+  // vector, then every chunk's fields — the digest is a hash of that
+  // canonical serialization without materializing the text.
+  Hash128 h;
+  h.u64(net.digest.lo).u64(net.digest.hi).u64(salt);
+  h.i32(config.num_chunks());
+  h.u64(config.group_to_chunk.size());
+  for (int g : config.group_to_chunk) h.i32(g);
+  for (const accel::ChunkConfig& c : config.chunks) {
+    h.i32(c.pe_rows);
+    h.i32(c.pe_cols);
+    h.i32(static_cast<int>(c.noc));
+    h.i32(static_cast<int>(c.dataflow));
+    h.i32(c.tile_oc);
+    h.i32(c.tile_ic);
+    h.f64(c.split.input);
+    h.f64(c.split.weight);
+    h.f64(c.split.output);
+  }
+  return CacheKey{h.digest()};
+}
+
+std::string cache_key_text(const NetworkSignature& net,
+                           const accel::AcceleratorConfig& config,
+                           std::uint64_t salt) {
+  char head[80];
+  std::snprintf(head, sizeof(head), "net=%016llx:%016llx|salt=%llx|",
+                static_cast<unsigned long long>(net.digest.lo),
+                static_cast<unsigned long long>(net.digest.hi),
+                static_cast<unsigned long long>(salt));
+  return std::string(head) + accel::encode_config(config);
+}
+
+}  // namespace a3cs::serve

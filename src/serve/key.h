@@ -1,0 +1,124 @@
+// Canonical cache keys for predictor-as-a-service (docs/SERVING.md).
+//
+// The analytical predictor is a pure function of (network, accelerator
+// config, predictor parameters), so its results are content-addressable. A
+// key digests the byte-stable canonical field sequence of all three — the
+// exact fields accel/config_io serializes, in the same order, with doubles
+// taken by bit pattern — through two independent splitmix64-style block
+// mixers, giving a 128-bit digest. We store digests, not the serialized
+// text, and we mix whole 64-bit fields, not bytes: a warm cache hit must
+// cost nanoseconds, and both a string build (~μs) and a byte-wise FNV loop
+// over ~400 canonical bytes (~several hundred ns) would rival the ~μs
+// analytic evaluation itself on the single-core hosts the bench gate runs
+// on.
+//
+// Collisions: for a 128-bit digest over n distinct keys the collision
+// probability is ~n^2 / 2^129 — at a billion cached configs that is ~1e-21,
+// far below any hardware error rate. cache_key_text() renders the matching
+// human-readable canonical form (via accel::encode_config) for logs and for
+// tests asserting digest/text coherence.
+//
+// Round-trip canonicalization is load-bearing: a config decoded from its
+// encoded text must reproduce identical field bytes, or the "same" config
+// would key differently after a wire round trip. encode_config therefore
+// serializes doubles at max_digits10 precision, and serve_test asserts
+// decode(encode(cfg)) byte-identity across a search-space sample.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/hw_types.h"
+#include "nn/layer_spec.h"
+
+namespace a3cs::serve {
+
+struct Digest128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+};
+
+// Two independent chained-mix streams over 64-bit blocks. Each field passes
+// through the splitmix64 finalizer (a bijection with full avalanche) and is
+// chained into two accumulators seeded differently; the second stream also
+// folds the field index, so reordered or shifted field sequences decorrelate
+// even when the multiset of field values is identical. ~10 ALU ops per field
+// per stream — keying a 4-chunk config (≈50 fields) costs ~100 ns.
+class Hash128 {
+ public:
+  Hash128& u64(std::uint64_t v) {
+    const std::uint64_t m = mix(v);
+    lo_ = mix(lo_ ^ m);
+    hi_ = mix(hi_ + m + count_);
+    ++count_;
+    return *this;
+  }
+  Hash128& i32(std::int32_t v) {
+    return u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  Hash128& f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+
+  Digest128 digest() const { return {lo_, hi_}; }
+
+ private:
+  // splitmix64 finalizer (Steele et al.); bijective, full avalanche.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t lo_ = 0x243f6a8885a308d3ull;  // pi fraction bits
+  std::uint64_t hi_ = 0x13198a2e03707344ull;
+  std::uint64_t count_ = 0;
+};
+
+// Digest of a network's hardware-facing geometry: per layer the same fields
+// the predictor consumes (kind, channels, spatial dims, kernel, stride,
+// group). Layer *names* are excluded on purpose — the cost model is
+// name-independent, so differently-named copies of one geometry share cache
+// entries.
+struct NetworkSignature {
+  Digest128 digest;
+  int num_layers = 0;
+  int num_groups = 0;
+};
+
+NetworkSignature network_signature(const std::vector<nn::LayerSpec>& specs);
+
+// One cache key = (network signature, accelerator config, salt). The salt
+// scopes keys to a predictor's parameters (budget/energy/cost weights) so
+// services over different predictors never alias.
+struct CacheKey {
+  Digest128 digest;
+};
+
+// Folds the config's canonical field sequence (accel/config_io field set and
+// order) into the signature digest.
+CacheKey cache_key(const NetworkSignature& net,
+                   const accel::AcceleratorConfig& config,
+                   std::uint64_t salt = 0);
+
+// Human-readable canonical form of the same key material:
+//   "net=<lo hex>:<hi hex>|salt=<hex>|<accel::encode_config(config)>"
+// for logs/tests; the digest of cache_key() is the authoritative key.
+std::string cache_key_text(const NetworkSignature& net,
+                           const accel::AcceleratorConfig& config,
+                           std::uint64_t salt = 0);
+
+}  // namespace a3cs::serve

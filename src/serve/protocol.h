@@ -1,0 +1,64 @@
+// Newline-delimited JSON request protocol for predictor_server
+// (docs/SERVING.md has the full request/response reference).
+//
+// One request per line, one reply line per request. Supported ops:
+//
+//   {"op":"ping"}
+//   {"op":"info","network":"ResNet-14"}
+//   {"op":"stats"}
+//   {"op":"eval","network":"ResNet-14","configs":["<encode_config text>",...]}
+//
+// "network" names a zoo model; optional "obs":[c,h,w] and "actions":k
+// override the default ObsSpec{3,12,12}/4 frontend. An optional "id" (number
+// or string) is echoed back verbatim so pipelined clients can match replies.
+//
+// Every reply carries "ok":true|false. Malformed input — bad JSON, unknown
+// op, unknown network, undecodable config text — yields an "ok":false reply
+// with an "error" message; handle_request_line never throws and never
+// crashes the server. Reply numbers are serialized at max_digits10
+// (obs::append_json_number_exact), so a client parsing a reply sees the
+// predictor's exact doubles.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.h"
+#include "nn/obs_spec.h"
+#include "serve/service.h"
+
+namespace a3cs::serve {
+
+// Zoo-backed registry of prepared networks. prepare() (layer decomposition +
+// signature digest) runs once per distinct (name, obs, actions) triple; every
+// later request reuses the cached PreparedNet. Thread-safe.
+class NetworkRegistry {
+ public:
+  explicit NetworkRegistry(const PredictorService& service)
+      : service_(service) {}
+
+  struct Entry {
+    std::vector<nn::LayerSpec> specs;
+    PreparedNet prepared;
+  };
+
+  // Builds (or returns the cached) entry; throws std::runtime_error for an
+  // unknown zoo name or invalid frontend shape.
+  const Entry& get(const std::string& name, const nn::ObsSpec& obs,
+                   int num_actions);
+
+ private:
+  const PredictorService& service_;
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // keyed by "name|c|h|w|actions"
+};
+
+// Handles one request line, returning one reply line (no trailing newline).
+// Never throws: every failure becomes an {"ok":false,"error":...} reply.
+std::string handle_request_line(PredictorService& service,
+                                NetworkRegistry& registry,
+                                const std::string& line);
+
+}  // namespace a3cs::serve
