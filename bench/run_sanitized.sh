@@ -14,10 +14,13 @@
 # checkpoint subsystem (sectioned container parsing of adversarial bytes,
 # the full save/restore round-trip) and the training-health guard (fault
 # injection, rollback recovery), the perf observability layer (bench
-# registry, BENCH_*.json diffing, Chrome trace export — perf_test), and
-# finishes with an end-to-end fault-injection smoke of cosearch_full
-# --guard=heal plus a perf smoke (bench_kernels in smoke mode, self-diffed
-# through bench_report --check and --chrome-check). The TSan pass
+# registry, BENCH_*.json diffing, Chrome trace export — perf_test), the
+# fleet supervisor (protocol/frontier units plus the kill/hang/corrupt
+# resume e2e suite — fleet_test, fleet_resume_test), and finishes with an
+# end-to-end fault-injection smoke of cosearch_full --guard=heal, a fleet
+# kill-one smoke (cosearch_fleet under A3CS_FLEET_KILL), plus a perf smoke
+# (bench_kernels in smoke mode, self-diffed through bench_report --check
+# and --chrome-check). The TSan pass
 # instead targets the parallel execution layer: the thread pool itself plus
 # every kernel and subsystem that dispatches onto it (GEMM/im2col, VecEnv
 # stepping, the top-K NAS backward) and the guard's cross-thread pieces
@@ -49,9 +52,9 @@ elif [ "$SAN" = "undefined" ]; then
   TESTS="tensor_test nn_layers_test nn_optim_test nn_zoo_test rl_test nas_test accel_test das_test core_test"
   GUARD_FILTER=""
 else
-  TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test perf_test serve_test"
+  TESTS="util_test obs_test thread_pool_test ckpt_test io_test guard_test guard_recovery_test perf_test serve_test fleet_test fleet_resume_test"
   GUARD_FILTER=""
-  SMOKE="cosearch_full bench_kernels bench_report predictor_server"
+  SMOKE="cosearch_full cosearch_fleet bench_kernels bench_report predictor_server"
 fi
 
 cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" -DA3CS_WERROR=ON >/dev/null
@@ -137,6 +140,23 @@ if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
     [ "$(grep -c '"ok":false' "$SRV_OUT")" -eq 2 ] || { echo "smoke: expected 2 error replies"; status=1; }
   fi
   rm -f "$SRV_OUT"
+fi
+
+# Fleet kill-one smoke (ASan pass only): run a 2-worker fleet, kill worker 0
+# at iteration 3 via the deterministic fault injector, and require the
+# supervisor to restart it from its checkpoint ring and finish the whole run
+# with exit 0 and a non-empty merged frontier (docs/FLEET.md).
+if [ -n "$SMOKE" ] && [ "$status" -eq 0 ]; then
+  echo "== fleet kill-one smoke ($SAN) =="
+  FLEET_DIR="$(mktemp -d "${TMPDIR:-/tmp}/a3cs_fleet_smoke.XXXXXX")"
+  A3CS_FLEET_KILL=0@3 \
+    "$BUILD/examples/cosearch_fleet" Catch --workers 2 --frames 64 \
+    --backoff 0.05 --out "$FLEET_DIR" >/dev/null || status=$?
+  if [ "$status" -eq 0 ]; then
+    [ -s "$FLEET_DIR/frontier.txt" ] || { echo "smoke: frontier.txt missing"; status=1; }
+    grep -q '^point ' "$FLEET_DIR/frontier.txt" || { echo "smoke: frontier has no points"; status=1; }
+  fi
+  rm -rf "$FLEET_DIR"
 fi
 
 # Kernel-backend stage: rerun the numeric tier-1 slice under the avx2

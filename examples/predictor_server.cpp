@@ -4,8 +4,8 @@
 // request; see docs/SERVING.md for the op reference) over stdin/stdout and,
 // with --port, over TCP to any number of concurrent clients:
 //
-//   echo '{"op":"eval","network":"ResNet-14","configs":["..."]}' \
-//     | ./examples/predictor_server
+//   echo '{"op":"eval","network":"ResNet-14","configs":["..."]}' |
+//     ./examples/predictor_server
 //   ./examples/predictor_server --port 7878   # nc localhost 7878
 //
 // Single-threaded poll() event loop: client connections multiplex onto one
@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,11 +41,16 @@ using namespace a3cs;
 
 namespace {
 
+// A misbehaving client gets disconnected rather than buffering unbounded
+// replies: one request line is capped by serve::LineBuffer, and a reader
+// that never drains its replies is cut off at this many pending bytes.
+constexpr std::size_t kMaxPendingOut = 4u << 20;  // 4 MiB
+
 struct Connection {
   int fd = -1;
   bool is_stdin = false;
-  std::string in;   // bytes read, not yet terminated by '\n'
-  std::string out;  // reply bytes not yet written
+  serve::LineBuffer in;  // bounded line assembly (oversized lines dropped)
+  std::string out;       // reply bytes not yet written
   bool closed = false;
 };
 
@@ -65,7 +71,10 @@ void flush_pending(Connection& c) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    c.closed = true;  // peer went away; drop the rest
+    if (n < 0 && errno == EINTR) continue;  // a signal is not a dead peer
+    // EPIPE/ECONNRESET (SIGPIPE is ignored process-wide) or EOF: the peer
+    // went away; drop the rest.
+    c.closed = true;
     return;
   }
 }
@@ -77,12 +86,8 @@ struct Server {
   std::int64_t requests = 0;
 
   void handle_lines(Connection& c) {
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = c.in.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = c.in.substr(start, nl - start);
-      start = nl + 1;
+    std::string line;
+    while (c.in.next_line(&line)) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.find_first_not_of(" \t") == std::string::npos) continue;
       const auto t0 = std::chrono::steady_clock::now();
@@ -97,7 +102,24 @@ struct Server {
                      static_cast<long long>(requests), ms);
       }
     }
-    c.in.erase(0, start);
+    if (c.in.take_overflow()) {
+      c.out +=
+          "{\"ok\":false,\"error\":\"request line exceeded " +
+          std::to_string(c.in.max_line_bytes()) + " bytes and was dropped\"}\n";
+      if (!quiet) {
+        std::fprintf(stderr, "[predictor_server] oversized request line "
+                             "dropped\n");
+      }
+    }
+    if (!c.is_stdin && c.out.size() > kMaxPendingOut) {
+      // Slow reader: it is not draining replies; cut it off instead of
+      // growing the output buffer without bound.
+      if (!quiet) {
+        std::fprintf(stderr, "[predictor_server] client too slow (%zu "
+                             "pending bytes), disconnecting\n", c.out.size());
+      }
+      c.closed = true;
+    }
   }
 };
 
@@ -131,6 +153,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Replies to stdout (and racing TCP peers) must surface as EPIPE on the
+  // write, not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
 
   // A3CS_TRACE=1 / A3CS_TRACE_PATH=... record one "serve_batch" JSONL event
   // per eval request, summarized by examples/trace_report.
@@ -229,7 +255,10 @@ int main(int argc, char** argv) {
       Connection& c = conns[conn_of[pi]];
       const short revents = fds[pi].revents;
       if (revents & (POLLOUT)) flush_pending(c);
-      if (revents & POLLIN) {
+      // Read on POLLHUP/POLLERR too: a pipe whose writer closed after we
+      // drained it reports POLLHUP *without* POLLIN, and only the read()
+      // returning 0 tells us it is EOF.
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
         char buf[4096];
         for (;;) {
           const ssize_t n = read(c.fd, buf, sizeof(buf));

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<const obs::JsonValue*> profile_nodes;
   std::vector<const obs::JsonValue*> guard_events;
   std::vector<const obs::JsonValue*> serve_batches;
+  std::vector<const obs::JsonValue*> fleet_events;
   std::int64_t iters = 0;
   double span_ms = 0.0;
   for (const obs::JsonValue& ev : events) {
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
     if (type == "profile") profile_nodes.push_back(&ev);
     if (type == "guard_event") guard_events.push_back(&ev);
     if (type == "serve_batch") serve_batches.push_back(&ev);
+    if (type == "fleet_event") fleet_events.push_back(&ev);
     if (type == "cosearch_iter") {
       ++iters;
       for (const auto& [key, value] : ev.as_object()) {
@@ -165,6 +167,21 @@ int main(int argc, char** argv) {
                      g->string_or("kind", "?"), g->string_or("check", ""),
                      g->string_or("severity", ""),
                      g->string_or("detail", "")});
+    }
+    table.print(std::cout);
+  }
+
+  // ---- fleet supervision (docs/FLEET.md) --------------------------------
+  if (!fleet_events.empty()) {
+    std::cout << "\nFleet activity (" << fleet_events.size() << " events):\n";
+    util::TextTable table({"iter", "kind", "shard", "detail"});
+    for (const auto* f : fleet_events) {
+      table.add_row({std::to_string(static_cast<std::int64_t>(
+                         f->number_or("iter", -1.0))),
+                     f->string_or("kind", "?"),
+                     std::to_string(static_cast<std::int64_t>(
+                         f->number_or("shard", -1.0))),
+                     f->string_or("detail", "")});
     }
     table.print(std::cout);
   }

@@ -55,6 +55,33 @@ CheckpointManager::CheckpointManager(CkptConfig cfg) : cfg_(std::move(cfg)) {
   A3CS_CHECK(cfg_.enabled(), "CheckpointManager: empty checkpoint directory");
   A3CS_CHECK(cfg_.keep >= 1, "CheckpointManager: keep must be >= 1");
   fs::create_directories(cfg_.dir);
+
+  // Sweep orphaned atomic-write staging files: a worker killed between
+  // util::atomic_write_file's write and its rename leaves "<name>.a3ck.tmp"
+  // behind. They are never valid checkpoints (rename is what publishes one),
+  // so deleting them on startup is always safe; without the sweep, a
+  // frequently restarted fleet shard accumulates one torn file per kill.
+  // Only ".a3ck.tmp" names are touched — stray user files stay untouched,
+  // mirroring the pruning policy of list().
+  static obs::Counter& tmp_swept =
+      obs::MetricsRegistry::global().counter("ckpt.tmp_swept");
+  const std::string kTmpTail = std::string(kSuffix) + ".tmp";
+  std::error_code dir_ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, dir_ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= kTmpTail.size() ||
+        name.compare(name.size() - kTmpTail.size(), kTmpTail.size(),
+                     kTmpTail) != 0) {
+      continue;
+    }
+    std::error_code ec;
+    if (fs::remove(entry.path(), ec)) {
+      tmp_swept.inc();
+      A3CS_LOG(WARN) << "checkpoint dir " << cfg_.dir
+                     << ": swept orphaned staging file " << name
+                     << " (previous writer died mid-commit)";
+    }
+  }
 }
 
 std::string CheckpointManager::path_for(std::int64_t iter) const {

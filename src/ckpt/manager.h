@@ -46,6 +46,9 @@ struct CkptConfig {
 
 class CheckpointManager {
  public:
+  // Creates the directory if needed and sweeps orphaned "*.a3ck.tmp"
+  // staging files left by a writer killed mid-atomic-commit (counted by the
+  // ckpt.tmp_swept metric; see docs/CHECKPOINTING.md).
   explicit CheckpointManager(CkptConfig cfg);
 
   const CkptConfig& config() const { return cfg_; }

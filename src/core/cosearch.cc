@@ -54,7 +54,7 @@ CoSearchEngine::CoSearchEngine(const std::string& game_title,
       collector_(envs_, util::Rng(cfg.seed + 2)),
       space_(cfg.num_chunks,
              /*num_groups=*/cfg.supernet.space.num_cells + 2),
-      predictor_(),
+      predictor_(cfg.budget),
       next_tau_decay_(cfg.tau_decay_every_frames),
       theta_opt_(cfg.a2c.lr_start),
       alpha_opt_(cfg.alpha_lr) {
@@ -267,6 +267,10 @@ void CoSearchEngine::save_checkpoint(ckpt::SectionWriter& writer) {
     sio::put_i64(out, next_tau_decay_);
     sio::put_i64(out, next_callback_);
     sio::put_i64(out, collector_.frames());
+    sio::put_f64(out, cfg_.lambda);
+    sio::put_i32(out, cfg_.budget.dsp);
+    sio::put_f64(out, reward_ewma_);
+    sio::put_bool(out, reward_ewma_init_);
     writer.end_section();
   }
   {
@@ -341,6 +345,15 @@ void CoSearchEngine::restore_checkpoint(const ckpt::SectionReader& reader) {
   const bool alpha_turn = sio::get_bool(meta);
   const std::int64_t next_tau_decay = sio::get_i64(meta);
   const std::int64_t next_callback = sio::get_i64(meta);
+  sio::get_i64(meta);  // frames (restored below via the rollout section)
+  // Shard-identity fields: a fleet worker resuming under the wrong cost
+  // weight or resource budget would silently walk a different trajectory.
+  const double lambda = sio::get_f64(meta);
+  A3CS_CHECK(lambda == cfg_.lambda, "checkpoint restore: lambda mismatch");
+  A3CS_CHECK(sio::get_i32(meta) == cfg_.budget.dsp,
+             "checkpoint restore: DSP budget mismatch");
+  const double reward_ewma = sio::get_f64(meta);
+  const bool reward_ewma_init = sio::get_bool(meta);
 
   {
     auto in = reader.stream("theta");
@@ -390,7 +403,11 @@ void CoSearchEngine::restore_checkpoint(const ckpt::SectionReader& reader) {
   alpha_turn_ = alpha_turn;
   next_tau_decay_ = next_tau_decay;
   next_callback_ = next_callback;
+  reward_ewma_ = reward_ewma;
+  reward_ewma_init_ = reward_ewma_init;
 }
+
+std::int64_t CoSearchEngine::frames() const { return collector_.frames(); }
 
 namespace {
 
@@ -594,7 +611,8 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
                                           : "; diagnostic dump at " +
                                                 dump_path);
     throw guard::GuardAbort("co-search aborted at iteration " +
-                            std::to_string(iter_) + ": " + why);
+                                std::to_string(iter_) + ": " + why,
+                            iter_);
   };
 
   if (ckpt_cfg.enabled()) {
@@ -652,6 +670,12 @@ CoSearchResult CoSearchEngine::run(std::int64_t total_frames,
       alpha_turn_ = !alpha_turn_;
     }
     ++iter_;
+    if (reward_ewma_init_) {
+      reward_ewma_ = 0.9 * reward_ewma_ + 0.1 * stats.mean_reward;
+    } else {
+      reward_ewma_ = stats.mean_reward;
+      reward_ewma_init_ = true;
+    }
     iters_counter.inc();
     frames_counter.inc(collector_.frames() - frames_before);
     iter_ms_hist.record(std::chrono::duration<double, std::milli>(

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "accel/hw_types.h"
 #include "arcade/vec_env.h"
 #include "ckpt/manager.h"
 #include "das/das.h"
@@ -43,6 +44,12 @@ struct CoSearchConfig {
   // per-cell cycle count normalized by `cost_norm_cycles`.
   double lambda = 0.05;
   double cost_norm_cycles = 1e5;
+  // Per-run FPGA resource envelope handed to the predictor (and through it
+  // to the DAS engine's feasibility barrier). Fleet shards search under
+  // different DSP budgets by varying this field (the paper's Table 2/3
+  // multi-budget sweep); checkpoints pin it, so resuming a shard with the
+  // wrong budget fails loudly instead of silently diverging.
+  accel::FpgaBudget budget;
   int das_steps_per_iter = 1;
   double alpha_lr = 1e-3;       // paper: Adam, lr 1e-3
   // Temperature decay cadence in env frames (paper: x0.98 every 1e5 steps,
@@ -129,6 +136,15 @@ class CoSearchEngine {
   // Iterations completed so far (survives checkpoint/restore).
   std::int64_t iterations() const { return iter_; }
 
+  // Env frames consumed so far (survives checkpoint/restore).
+  std::int64_t frames() const;
+
+  // Exponentially weighted moving average of the per-iteration mean rollout
+  // reward (decay 0.9), the cheap deterministic "score" axis of the fleet's
+  // Pareto frontier. Checkpointed, so a resumed run re-reports the exact
+  // value it had at the restored boundary.
+  double reward_ewma() const { return reward_ewma_; }
+
  private:
   // Returns the total lambda-weighted penalty added to the alpha gradients;
   // `eval_out` (if non-null) receives the hw(phi*) evaluation it was
@@ -158,6 +174,8 @@ class CoSearchEngine {
   std::int64_t iter_ = 0;
   bool alpha_turn_ = false;  // bi-level: alternate theta / alpha rollouts
   std::int64_t next_callback_ = 0;
+  double reward_ewma_ = 0.0;
+  bool reward_ewma_init_ = false;
 };
 
 }  // namespace a3cs::core

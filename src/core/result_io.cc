@@ -14,7 +14,8 @@ void save_result(const std::string& path, const SavedResult& result) {
       << "arch=" << result.arch.to_string() << "\n"
       << "accel=" << accel::encode_config(result.accelerator) << "\n"
       << "test_score=" << result.test_score << "\n"
-      << "fps=" << result.fps << "\n";
+      << "fps=" << result.fps << "\n"
+      << "dsp=" << result.dsp << "\n";
   if (!out) throw std::runtime_error("save_result: write failed " + path);
 }
 
@@ -43,6 +44,8 @@ SavedResult load_result(const std::string& path) {
       result.test_score = std::stod(value);
     } else if (key == "fps") {
       result.fps = std::stod(value);
+    } else if (key == "dsp") {
+      result.dsp = std::stoi(value);
     } else {
       throw std::runtime_error("load_result: unknown key '" + key + "'");
     }

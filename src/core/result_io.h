@@ -16,6 +16,7 @@ struct SavedResult {
   accel::AcceleratorConfig accelerator;
   double test_score = 0.0;
   double fps = 0.0;
+  int dsp = 0;  // DSPs the accelerator maps onto (0 when not recorded)
   std::string game;
 };
 

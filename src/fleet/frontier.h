@@ -1,0 +1,74 @@
+// The fleet's merged Pareto frontier over (score up, FPS up, DSP down) —
+// the paper's Table 2/3 multi-budget sweep as one deterministic artifact.
+//
+// Determinism contract (docs/FLEET.md): the rendered frontier depends only
+// on the SET of points contributed by surviving shards, never on arrival
+// order, restart timing, or how often a resumed worker re-emitted a point.
+// That holds because (a) insertion dedupes on exact content, (b) dominance
+// is a pure function of the set, and (c) render() sorts on a total order of
+// the point fields with round-trip-exact double formatting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace a3cs::fleet {
+
+struct ParetoPoint {
+  int shard = 0;
+  std::int64_t iter = 0;
+  std::int64_t frames = 0;
+  double score = 0.0;  // reward EWMA of the shard at this boundary (up)
+  double fps = 0.0;    // predictor FPS of the derived design (up)
+  int dsp = 0;         // DSPs the derived design uses (down)
+  std::string arch;    // nas::DerivedArch::to_string()
+  std::string accel;   // accel::encode_config()
+};
+
+// Total order used everywhere points are sorted: best score first, then
+// best FPS, then fewest DSPs, then (shard, iter, arch, accel) as an
+// unambiguous tie-break.
+bool point_less(const ParetoPoint& a, const ParetoPoint& b);
+
+// q dominates p: no worse on all three objectives, strictly better on one.
+bool dominates(const ParetoPoint& q, const ParetoPoint& p);
+
+// Content-deduplicating accumulator of candidate points.
+class FrontierSet {
+ public:
+  // Inserts unless an identical point (every field equal) is already
+  // present. Returns true when the point was new.
+  bool insert(const ParetoPoint& p);
+
+  // Drops every point a shard contributed (shard dropped from the fleet: a
+  // partial contribution would make the merged result depend on where the
+  // shard happened to die).
+  int erase_shard(int shard);
+
+  std::size_t size() const { return points_.size(); }
+
+  // Points a given shard currently contributes (diagnostics / grant choice).
+  int count_for_shard(int shard) const;
+
+  // The non-dominated subset, sorted by point_less.
+  std::vector<ParetoPoint> frontier() const;
+
+ private:
+  // Keyed by the canonical point line (fleet::format_point) so equality is
+  // exactly byte-equality of the wire encoding.
+  std::map<std::string, ParetoPoint> points_;
+};
+
+// Renders a frontier file: a "# a3cs-fleet-frontier v1" header, a "points N"
+// count, then one canonical point line per entry (already sorted by the
+// caller via FrontierSet::frontier()). Byte-stable across runs — the
+// artifact fleet_resume_test compares bit-exactly.
+std::string render_frontier(const std::vector<ParetoPoint>& frontier);
+
+// Parses render_frontier output (tools/tests); throws std::runtime_error on
+// malformed input.
+std::vector<ParetoPoint> parse_frontier(const std::string& text);
+
+}  // namespace a3cs::fleet

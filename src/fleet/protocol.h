@@ -1,0 +1,56 @@
+// Line-framed worker -> supervisor protocol of the co-search fleet
+// (docs/FLEET.md). Each worker owns the write end of one pipe; every message
+// is a single '\n'-terminated ASCII line, always shorter than PIPE_BUF, so
+// POSIX guarantees the write is atomic — the supervisor never sees an
+// interleaved or torn line from a live worker (a worker killed before its
+// write() returns simply never sent the line; the resume re-emission rule in
+// docs/FLEET.md covers that case).
+//
+//   hb <shard> iter=<i> frames=<f>
+//   point <shard> iter=<i> frames=<f> score=<g17> fps=<g17> dsp=<d>
+//         arch=<DerivedArch::to_string> accel=<accel::encode_config>
+//   diverged <shard> iter=<i> <free-text reason>
+//   done <shard> iter=<i> frames=<f>
+//
+// Doubles are rendered with "%.17g" (round-trip exact), so a point re-emitted
+// after a kill/resume is byte-identical to the original and content-level
+// dedupe in the supervisor makes re-delivery idempotent — the mechanism
+// behind the fleet's bit-exact frontier guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/frontier.h"
+
+namespace a3cs::fleet {
+
+// Round-trip-exact decimal rendering of a double ("%.17g").
+std::string format_double(double v);
+
+enum class MsgKind { kHeartbeat, kPoint, kDiverged, kDone, kUnknown };
+
+struct Msg {
+  MsgKind kind = MsgKind::kUnknown;
+  int shard = -1;
+  std::int64_t iter = 0;
+  std::int64_t frames = 0;
+  std::string reason;  // kDiverged only
+  ParetoPoint point;   // kPoint only (shard/iter/frames duplicated into it)
+};
+
+// Renderers. Every returned string includes the trailing '\n'.
+std::string format_heartbeat(int shard, std::int64_t iter,
+                             std::int64_t frames);
+std::string format_point(const ParetoPoint& p);
+std::string format_diverged(int shard, std::int64_t iter,
+                            const std::string& reason);
+std::string format_done(int shard, std::int64_t iter, std::int64_t frames);
+
+// Parses one line (without the trailing '\n'). Never throws: anything that
+// does not parse — including a truncated line from a worker killed mid-write
+// in a non-atomic-pipe world — comes back as MsgKind::kUnknown and is
+// counted + dropped by the supervisor.
+Msg parse_message(const std::string& line);
+
+}  // namespace a3cs::fleet

@@ -1,0 +1,121 @@
+// FleetSupervisor: fork/execs N co-search worker shards (fleet/worker.h),
+// listens on per-worker pipes for the line protocol (fleet/protocol.h), and
+// merges every delivered Pareto point into one deterministic global
+// score/FPS/DSP frontier (fleet/frontier.h).
+//
+// Robustness ladder (docs/FLEET.md):
+//   * SIGCHLD (self-pipe) reaps crashed workers; a heartbeat deadline
+//     SIGKILLs hung ones, which then flow through the same crash path.
+//   * A crashed shard restarts after per-worker exponential backoff and
+//     resumes from its A3CK checkpoint ring, re-emitting the restored
+//     boundary's point so the merged frontier stays bit-exact vs an
+//     unkilled run (supervisor-side dedupe absorbs re-deliveries).
+//   * A shard that exhausts its restart budget — or that the PR 4 watchdog
+//     flags diverged (GuardAbort -> `diverged` line / exit kExitDiverged) —
+//     is dropped: its points are purged from the frontier and, when budget
+//     reallocation is on, its unspent frame budget is granted to the done
+//     shard holding the most frontier points (successive-halving style).
+//   * The fleet degrades gracefully: it completes with exit-worthy results
+//     as long as any subset of shards survives, and a SIGINT/SIGTERM stop
+//     request drains workers gracefully (they checkpoint and exit clean).
+//
+// This is the ONLY translation unit in the tree allowed to call
+// fork/exec*/waitpid directly (a3cs-lint rule conc-raw-process).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fault.h"
+#include "fleet/frontier.h"
+
+namespace a3cs::fleet {
+
+// One worker shard's search assignment: seed, trade-off lambda, DSP budget
+// and frame budget. Shard ids must be unique and are stamped on every
+// emitted point.
+struct ShardSpec {
+  int shard = 0;
+  std::uint64_t seed = 21;
+  double lambda = 0.05;
+  int dsp_budget = 900;
+  std::int64_t total_frames = 0;
+};
+
+struct FleetConfig {
+  // Binary to exec for workers; must route --fleet-worker argv through
+  // fleet::worker_main (examples/cosearch_fleet.cpp does).
+  std::string worker_binary;
+  std::string game = "Catch";
+  int num_cells = 3;
+  int num_envs = 2;
+  int rollout_len = 4;
+  int das_samples = 2;
+  std::int64_t tau_decay_frames = 64;
+  // Fleet scratch root: out_dir/shard-K/ckpt rings, shard-K.trace.jsonl.
+  std::string out_dir;
+  std::vector<ShardSpec> shards;
+
+  double heartbeat_timeout_s = 30.0;  // no hb for this long => SIGKILL
+  int poll_interval_ms = 50;
+  int restart_budget = 3;      // restarts per shard before it is dropped
+  double backoff_base_s = 0.25;
+  double backoff_max_s = 8.0;
+  bool reallocate_budget = true;
+  int ckpt_every_iters = 1;  // per-iteration by default: bit-exact resume
+  int ckpt_keep = 4;
+  std::int64_t point_every = 1;
+
+  // A3CS_FLEET_HB_S / RESTARTS / BACKOFF_S / BACKOFF_MAX_S / REALLOC /
+  // POLL_MS override the corresponding fields (docs/FLEET.md).
+  FleetConfig with_env_overrides() const;
+};
+
+enum class ShardOutcome {
+  kDone,      // worker exited 0 (including graceful stop-drain)
+  kDropped,   // restart budget exhausted; points purged
+  kDiverged,  // guard watchdog abort; points purged
+};
+
+const char* to_string(ShardOutcome outcome);
+
+struct ShardReport {
+  int shard = 0;
+  ShardOutcome outcome = ShardOutcome::kDone;
+  int restarts = 0;
+  std::int64_t last_iter = 0;
+  std::int64_t last_frames = 0;
+  std::string detail;  // divergence reason / drop cause, empty when done
+};
+
+struct FleetResult {
+  std::vector<ShardReport> shards;  // ordered by shard id
+  std::vector<ParetoPoint> frontier;
+  std::string frontier_text;  // render_frontier(frontier), byte-stable
+  int spawns = 0;
+  int restarts = 0;
+  int drops = 0;
+  int hb_timeouts = 0;
+  int diverged = 0;
+  bool stopped = false;  // SIGINT/SIGTERM drained the fleet early
+
+  int done_count() const;
+};
+
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetConfig cfg,
+                           FleetFaultInjector faults = FleetFaultInjector());
+
+  // Runs the fleet to completion (every shard done, dropped or diverged;
+  // one budget-grant round when reallocation applies). Blocking; installs
+  // SIGCHLD and stop handlers for its duration.
+  FleetResult run();
+
+ private:
+  FleetConfig cfg_;
+  FleetFaultInjector faults_;
+};
+
+}  // namespace a3cs::fleet

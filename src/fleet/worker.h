@@ -1,0 +1,69 @@
+// The fleet worker: one seeded CoSearchEngine shard running inside a child
+// process, reporting heartbeats / Pareto points / completion over the pipe
+// fd the supervisor handed it (fleet/protocol.h).
+//
+// Workers always run with checkpoint resume ON: a fresh shard finds an empty
+// ring and starts from scratch; a restarted shard restores its newest valid
+// checkpoint and continues bit-exactly (PR 3 guarantee). On startup after a
+// restore, the worker RE-EMITS the point of the restored boundary — any
+// point the dead incarnation produced after its last received line is thereby
+// re-delivered byte-identically, which (with supervisor-side content dedupe)
+// closes the only gap in the bit-exact frontier guarantee.
+//
+// A guard::GuardAbort escaping run() (the PR 4 watchdog's abort rung, or the
+// injected --diverge-at fault) is reported as a `diverged` line and exit
+// code kExitDiverged, turning divergence into an early kill the supervisor
+// can account against the fleet instead of a mystery crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace a3cs::fleet {
+
+// Exit code of a worker whose engine aborted via guard::GuardAbort.
+inline constexpr int kExitDiverged = 3;
+// Exit code of the injected --kill-at hard crash (std::_Exit, no unwinding).
+inline constexpr int kExitKilled = 9;
+
+struct WorkerOptions {
+  int shard = 0;
+  int pipe_fd = 1;  // write end of the supervisor pipe (stdout by default)
+  std::string game = "Catch";
+  int num_cells = 3;
+  int num_envs = 2;
+  int rollout_len = 4;
+  int das_samples = 2;
+  std::int64_t tau_decay_frames = 64;
+  std::int64_t total_frames = 0;
+  std::uint64_t seed = 21;
+  double lambda = 0.05;
+  int dsp_budget = 900;
+  std::string ckpt_dir;
+  int ckpt_every = 1;
+  int ckpt_keep = 4;
+  std::int64_t point_every = 1;  // emit a Pareto point every N iterations
+  std::string result_path;       // optional core::save_result export
+  // Fault injection (first launch only; see fleet/fault.h).
+  std::int64_t kill_at = 0;
+  std::int64_t hang_at = 0;
+  std::int64_t diverge_at = 0;
+};
+
+// True when argv carries the --fleet-worker sentinel: the binary was exec'd
+// by a FleetSupervisor and must run worker_main instead of its own main.
+bool is_worker_invocation(int argc, char** argv);
+
+// Parses worker argv (the flags built by FleetSupervisor) and runs the
+// shard. Returns the process exit code (0 done, kExitDiverged, 2 usage).
+int worker_main(int argc, char** argv);
+
+// The worker body, callable directly from tests.
+int run_fleet_worker(const WorkerOptions& opts);
+
+// Serializes the options back into the argv tail worker_main parses
+// (supervisor side; excludes the binary path, includes --fleet-worker).
+std::vector<std::string> worker_argv(const WorkerOptions& opts);
+
+}  // namespace a3cs::fleet

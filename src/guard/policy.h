@@ -69,7 +69,16 @@ struct GuardConfig {
 // summary; a diagnostic state dump has been written before the throw.
 class GuardAbort : public std::runtime_error {
  public:
-  explicit GuardAbort(const std::string& msg) : std::runtime_error(msg) {}
+  explicit GuardAbort(const std::string& msg, std::int64_t iter = -1)
+      : std::runtime_error(msg), iter_(iter) {}
+
+  // Iteration the ladder gave up at (-1 when unknown). Process supervisors
+  // (src/fleet) forward it in their `diverged` report so the fleet log pins
+  // exactly where a shard was written off.
+  std::int64_t iter() const { return iter_; }
+
+ private:
+  std::int64_t iter_ = -1;
 };
 
 // Per-run ladder state machine. decide() consumes one HealthReport per

@@ -7,6 +7,7 @@
 #include "accel/config_io.h"
 #include "nn/zoo.h"
 #include "obs/jsonl.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace a3cs::serve {
@@ -220,6 +221,68 @@ std::string handle_request_line(PredictorService& service,
   } catch (const std::exception& e) {
     return error_reply(id, e.what());
   }
+}
+
+// ------------------------------------------------------------ LineBuffer ----
+
+namespace {
+
+void note_line_overflow() {
+  static obs::Counter& overflows =
+      obs::MetricsRegistry::global().counter("serve.line_overflows");
+  overflows.inc();
+}
+
+}  // namespace
+
+LineBuffer::LineBuffer(std::size_t max_line_bytes)
+    : max_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+void LineBuffer::append(const char* data, std::size_t n) {
+  std::size_t pos = 0;
+  if (discarding_) {
+    // Still inside an oversized line: eat bytes through its newline.
+    while (pos < n && data[pos] != '\n') ++pos;
+    if (pos == n) return;  // the whole chunk belongs to the doomed line
+    ++pos;                 // consume the terminating '\n'
+    discarding_ = false;
+  }
+  buf_.append(data + pos, n - pos);
+
+  // Cap the unterminated tail: everything after the last '\n' is one
+  // in-flight line; past the cap it can only ever be dropped, so drop now.
+  const std::size_t last_nl = buf_.rfind('\n');
+  const std::size_t tail_start = last_nl == std::string::npos ? 0 : last_nl + 1;
+  if (buf_.size() - tail_start > max_) {
+    buf_.resize(tail_start);
+    discarding_ = true;
+    overflow_pending_ = true;
+    note_line_overflow();
+  }
+}
+
+bool LineBuffer::next_line(std::string* out) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) return false;
+    if (nl > max_) {
+      // A complete line over the cap (terminator arrived in the same chunk
+      // as its overflowing body): drop it and keep scanning.
+      buf_.erase(0, nl + 1);
+      overflow_pending_ = true;
+      note_line_overflow();
+      continue;
+    }
+    out->assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+}
+
+bool LineBuffer::take_overflow() {
+  const bool pending = overflow_pending_;
+  overflow_pending_ = false;
+  return pending;
 }
 
 }  // namespace a3cs::serve

@@ -61,4 +61,41 @@ std::string handle_request_line(PredictorService& service,
                                 NetworkRegistry& registry,
                                 const std::string& line);
 
+// Bounded line assembler for NDJSON transports: buffers raw bytes from a
+// socket/pipe and hands out complete '\n'-terminated lines. A client that
+// sends an oversized or never-terminated line cannot grow the buffer past
+// `max_line_bytes` — the offending line is discarded (through its eventual
+// newline), the serve.line_overflows metric is bumped, and take_overflow()
+// reports the event once so the server can send one {"ok":false,...} reply
+// instead of buffering unbounded garbage.
+class LineBuffer {
+ public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;  // 1 MiB
+
+  explicit LineBuffer(std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  // Appends raw transport bytes. Bytes belonging to an oversized line are
+  // discarded as they arrive; buffered_bytes() stays <= max_line_bytes
+  // regardless of what the peer sends.
+  void append(const char* data, std::size_t n);
+
+  // Extracts the next complete line (without the '\n') into *out. Returns
+  // false when no complete line is buffered. A complete line longer than
+  // the cap is dropped (overflow event) and the scan continues.
+  bool next_line(std::string* out);
+
+  // True once per batch of overflow events since the last call; the caller
+  // turns it into a single error reply.
+  bool take_overflow();
+
+  std::size_t buffered_bytes() const { return buf_.size(); }
+  std::size_t max_line_bytes() const { return max_; }
+
+ private:
+  std::size_t max_;
+  std::string buf_;
+  bool discarding_ = false;  // inside an oversized line, eat until '\n'
+  bool overflow_pending_ = false;
+};
+
 }  // namespace a3cs::serve

@@ -353,6 +353,35 @@ TEST(CheckpointManager, EnvOverridesWin) {
   ::unsetenv("A3CS_CKPT_RESUME");
 }
 
+// Regression for the startup sweep: a process killed inside
+// util::atomic_write_file leaves "<ckpt>.a3ck.tmp" behind; the next
+// CheckpointManager over the same directory must delete it (it was never
+// published by rename, so it can never be a valid checkpoint) while leaving
+// real checkpoints and unrelated files alone.
+TEST(CheckpointManager, StartupSweepsOrphanedTmpFiles) {
+  ckpt::CkptConfig cfg;
+  cfg.dir = temp_dir("tmpsweep");
+  {
+    ckpt::CheckpointManager mgr(cfg);
+    mgr.commit(5, tiny_writer(5));
+  }
+  // Inject a torn staging file exactly as a mid-write kill would leave it.
+  const std::string orphan = cfg.dir + "/ckpt-000000005.a3ck.tmp";
+  std::ofstream(orphan, std::ios::binary) << "torn half-written bytes";
+  // Files that do not end in ".a3ck.tmp" must survive the sweep.
+  const std::string bystander = cfg.dir + "/notes.tmp";
+  std::ofstream(bystander) << "keep me";
+
+  ckpt::CheckpointManager mgr(cfg);  // re-open: the sweep runs here
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_TRUE(fs::exists(bystander));
+  EXPECT_EQ(mgr.list(), (std::vector<std::int64_t>{5}));  // ckpt untouched
+
+  ckpt::SectionReader reader;
+  EXPECT_EQ(mgr.load_newest_valid(&reader), 5);
+  fs::remove_all(cfg.dir);
+}
+
 // ---------------------------------------------------------- stop signal
 
 TEST(StopSignal, RequestStopSetsAndClears) {

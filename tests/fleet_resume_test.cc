@@ -1,0 +1,140 @@
+// End-to-end fleet fault injection (the supervisor's correctness bar): a
+// fleet whose workers are hard-killed, hung, or handed a corrupted tip
+// checkpoint mid-run must converge to a frontier BYTE-IDENTICAL to an
+// unkilled run over the same seed set — at 1 and at 4 workers. Divergence
+// and restart-budget exhaustion drop the shard (points purged) while the
+// fleet still completes with exit 0 on the surviving subset.
+//
+// Drives the real examples/cosearch_fleet binary (COSEARCH_FLEET_BIN
+// compile definition), same re-exec idiom as ckpt_resume_test.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace a3cs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr long long kFrames = 64;  // 8 iters of 2 envs x 4-step rollouts
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = fs::temp_directory_path() /
+                   ("a3cs_fleet_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Runs the fleet binary with env assignments prepended; returns exit code.
+int run_fleet(const std::string& env, int workers, const std::string& out_dir,
+              const std::string& extra_args = "") {
+  std::ostringstream cmd;
+  cmd << "env " << env << " " << COSEARCH_FLEET_BIN << " Catch --workers "
+      << workers << " --frames " << kFrames << " --seed 21 --backoff 0.05 "
+      << "--out " << out_dir << " " << extra_args << " >/dev/null 2>&1";
+  const int status = std::system(cmd.str().c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string frontier_of(const std::string& out_dir) {
+  const std::string text = read_file(out_dir + "/frontier.txt");
+  EXPECT_FALSE(text.empty()) << "no frontier written under " << out_dir;
+  return text;
+}
+
+TEST(FleetResume, KilledWorkerFrontierBitExactOneWorker) {
+  const std::string ref = temp_dir("ref1");
+  const std::string killed = temp_dir("kill1");
+  ASSERT_EQ(run_fleet("", 1, ref), 0);
+  ASSERT_EQ(run_fleet("A3CS_FLEET_KILL=0@3", 1, killed), 0);
+  EXPECT_EQ(frontier_of(killed), frontier_of(ref));
+}
+
+TEST(FleetResume, KilledWorkersFrontierBitExactFourWorkers) {
+  const std::string ref = temp_dir("ref4");
+  const std::string killed = temp_dir("kill4");
+  ASSERT_EQ(run_fleet("", 4, ref), 0);
+  // Every worker dies once, each at a different boundary.
+  ASSERT_EQ(run_fleet("A3CS_FLEET_KILL=0@2,1@4,2@3,3@6", 4, killed), 0);
+  EXPECT_EQ(frontier_of(killed), frontier_of(ref));
+}
+
+TEST(FleetResume, HungWorkerIsKilledByHeartbeatTimeoutAndResumed) {
+  const std::string ref = temp_dir("refh");
+  const std::string hung = temp_dir("hang");
+  ASSERT_EQ(run_fleet("", 1, ref), 0);
+  // Worker 0 stops heartbeating at iter 3; a 1s deadline must SIGKILL it
+  // and the restart must resume to the same frontier.
+  ASSERT_EQ(run_fleet("A3CS_FLEET_HANG=0@3 A3CS_FLEET_HB_S=1", 1, hung), 0);
+  EXPECT_EQ(frontier_of(hung), frontier_of(ref));
+}
+
+TEST(FleetResume, CorruptTipCheckpointFallsBackDownRing) {
+  const std::string ref = temp_dir("refc");
+  const std::string corrupt = temp_dir("corrupt");
+  ASSERT_EQ(run_fleet("", 1, ref), 0);
+  // The tip checkpoint (iter 4) is truncated before the restart: resume must
+  // CRC-reject it, restore iter 3 from the ring, and recompute iter 4
+  // deterministically — the re-emitted points dedupe to the same frontier.
+  ASSERT_EQ(run_fleet("A3CS_FLEET_KILL=0@4 A3CS_FLEET_CORRUPT_TIP=0", 1,
+                      corrupt),
+            0);
+  EXPECT_EQ(frontier_of(corrupt), frontier_of(ref));
+}
+
+TEST(FleetResume, DivergedShardIsDroppedAndPurged) {
+  const std::string ref = temp_dir("refd");
+  const std::string diverged = temp_dir("diverge");
+  ASSERT_EQ(run_fleet("", 1, ref, "--no-realloc"), 0);
+  // Shard 1 raises GuardAbort at iter 3 -> dropped, its points purged. The
+  // surviving shard 0 runs the same seed as the 1-worker reference, so with
+  // reallocation off the degraded fleet's frontier equals the reference.
+  ASSERT_EQ(run_fleet("A3CS_FLEET_DIVERGE=1@3", 2, diverged, "--no-realloc"),
+            0);
+  const std::string text = frontier_of(diverged);
+  EXPECT_EQ(text, frontier_of(ref));
+  EXPECT_EQ(text.find("point 1 "), std::string::npos)
+      << "dropped shard's points leaked into the frontier";
+}
+
+// Negative control for the restart ladder: with a restart budget of zero a
+// killed shard is dropped outright — and the fleet still completes (exit 0)
+// on the surviving shard.
+TEST(FleetResume, RestartBudgetZeroDropsShardFleetStillCompletes) {
+  const std::string ref = temp_dir("refz");
+  const std::string dropped = temp_dir("drop");
+  ASSERT_EQ(run_fleet("", 1, ref, "--no-realloc"), 0);
+  ASSERT_EQ(run_fleet("A3CS_FLEET_KILL=1@3 A3CS_FLEET_RESTARTS=0", 2, dropped,
+                      "--no-realloc"),
+            0);
+  const std::string text = frontier_of(dropped);
+  EXPECT_EQ(text, frontier_of(ref));
+  EXPECT_EQ(text.find("point 1 "), std::string::npos);
+}
+
+// All shards dropped: the fleet degrades to an empty frontier and reports
+// failure (exit 1) instead of hanging or crashing.
+TEST(FleetResume, AllShardsDroppedExitsNonZeroWithEmptyFrontier) {
+  const std::string out = temp_dir("alldrop");
+  ASSERT_EQ(run_fleet("A3CS_FLEET_KILL=0@2 A3CS_FLEET_RESTARTS=0", 1, out), 1);
+  EXPECT_NE(read_file(out + "/frontier.txt").find("points 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace a3cs

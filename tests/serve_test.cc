@@ -468,5 +468,66 @@ TEST_F(ServeProtocolTest, ErrorRepliesEchoTheRequestId) {
   EXPECT_EQ(resp.string_or("id", ""), "req-9");
 }
 
+// Adversarial transport input: predictor_server's bounded line assembly.
+// An oversized or never-terminated NDJSON line must not grow memory past
+// the cap, must be reported exactly once, and must not poison later
+// well-formed requests on the same connection.
+
+TEST(ServeLineBuffer, SplitsChunksIntoLines) {
+  serve::LineBuffer buf;
+  const std::string bytes = "{\"op\":\"ping\"}\n{\"op\":\"sta";
+  buf.append(bytes.data(), bytes.size());
+  std::string line;
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"ping\"}");
+  EXPECT_FALSE(buf.next_line(&line));  // second request still unterminated
+  buf.append("ts\"}\n", 5);
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"stats\"}");
+  EXPECT_FALSE(buf.take_overflow());
+}
+
+TEST(ServeLineBuffer, UnterminatedLineIsCappedAndDiscarded) {
+  serve::LineBuffer buf(64);
+  const std::string flood(1000, 'x');  // no newline, ever
+  for (int i = 0; i < 50; ++i) buf.append(flood.data(), flood.size());
+  EXPECT_LE(buf.buffered_bytes(), 64u);  // memory stays bounded
+  std::string line;
+  EXPECT_FALSE(buf.next_line(&line));
+  EXPECT_TRUE(buf.take_overflow());
+  EXPECT_FALSE(buf.take_overflow());  // reported once
+
+  // Once the doomed line finally terminates, the stream recovers.
+  buf.append("tail\n{\"op\":\"ping\"}\n", 19);
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"ping\"}");
+  EXPECT_FALSE(buf.next_line(&line));
+}
+
+TEST(ServeLineBuffer, OversizedCompleteLineIsDroppedNeighborsSurvive) {
+  serve::LineBuffer buf(32);
+  const std::string bytes =
+      "{\"op\":\"ping\"}\n" + std::string(100, 'y') + "\n{\"op\":\"stats\"}\n";
+  buf.append(bytes.data(), bytes.size());
+  std::string line;
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "{\"op\":\"ping\"}");
+  ASSERT_TRUE(buf.next_line(&line));  // the 100-byte line was skipped
+  EXPECT_EQ(line, "{\"op\":\"stats\"}");
+  EXPECT_FALSE(buf.next_line(&line));
+  EXPECT_TRUE(buf.take_overflow());
+}
+
+TEST(ServeLineBuffer, ExactCapLineStillFits) {
+  serve::LineBuffer buf(8);
+  buf.append("12345678\nok\n", 12);
+  std::string line;
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "12345678");
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(buf.take_overflow());
+}
+
 }  // namespace
 }  // namespace a3cs

@@ -1,0 +1,24 @@
+// Fixture: conc-raw-process must fire on raw process-lifecycle calls (linted
+// under a virtual src/core/ path) and stay silent under src/fleet/ and on
+// member calls that merely share a POSIX name.
+#include <sys/wait.h>
+#include <unistd.h>
+
+struct FakeSupervisor {
+  int fork() { return 0; }
+  int waitpid(int) { return 0; }
+};
+
+int spawn_shard(const char* bin) {
+  const int pid = fork();  // conc-raw-process
+  if (pid == 0) {
+    char* const argv[] = {nullptr};
+    execv(bin, argv);  // conc-raw-process
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);  // conc-raw-process
+  FakeSupervisor sup;
+  sup.fork();        // member call: clean
+  (&sup)->waitpid(0);  // member call: clean
+  return status;
+}

@@ -533,6 +533,43 @@ void rule_conc_raw_thread(const Ctx& c) {
   }
 }
 
+// --------------------------------------------------------- conc-raw-process --
+
+void rule_conc_raw_process(const Ctx& c) {
+  if (starts_with(c.path, "src/fleet/")) return;
+  static const std::vector<std::string> kProcessCalls = {
+      "fork",   "vfork", "waitpid",     "wait4",        "waitid",
+      "execl",  "execlp", "execle",     "execv",        "execvp",
+      "execvpe", "execve", "posix_spawn", "posix_spawnp"};
+  const auto& toks = c.toks();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (std::find(kProcessCalls.begin(), kProcessCalls.end(), t) ==
+        kProcessCalls.end()) {
+      continue;
+    }
+    if (!c.punct_at(i + 1, "(")) continue;
+    // `obj.fork(...)` / `obj->waitpid(...)` are member calls on some other
+    // abstraction, not the raw POSIX API.
+    if (c.punct_at(i - 1, ".") ||
+        (c.punct_at(i - 1, ">") && c.punct_at(i - 2, "-"))) {
+      continue;
+    }
+    // A declaration (`int fork() {...}`, `pid_t waitpid(...)`) has a type
+    // name directly before it; a call never does (except after `return`).
+    if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+        toks[i - 1].text != "return") {
+      continue;
+    }
+    c.report(toks[i].line, "conc-raw-process",
+             t + " outside src/fleet/ — child-process lifecycle (spawn, "
+                 "reap, restart, kill-on-hang) must go through the "
+                 "FleetSupervisor so SIGCHLD handling and zombie reaping "
+                 "stay in one place");
+  }
+}
+
 // -------------------------------------------------------- conc-static-local --
 
 const std::vector<std::string>& sync_needles() {
@@ -705,6 +742,7 @@ std::vector<Finding> lint_source(const std::string& path,
   rule_ser_pair(ctx);
   rule_ser_raw_io(ctx);
   rule_conc_raw_thread(ctx);
+  rule_conc_raw_process(ctx);
   rule_conc_static_local(ctx);
   rule_conc_mutable_global(ctx);
   rule_hyg_pragma_once(ctx);
@@ -732,6 +770,8 @@ std::vector<std::pair<std::string, std::string>> rule_catalog() {
        "src/tensor/backend/"},
       {"conc-mutable-global",
        "mutable namespace-scope variable in src/ without atomic/mutex type"},
+      {"conc-raw-process",
+       "fork/exec*/waitpid/posix_spawn outside src/fleet/"},
       {"conc-raw-thread",
        "std::thread/std::async/detach/pthread_create outside "
        "util/thread_pool"},
