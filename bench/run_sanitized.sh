@@ -60,9 +60,14 @@ fi
 cmake -B "$BUILD" -S "$ROOT" -DA3CS_SANITIZE="$SAN" -DA3CS_WERROR=ON >/dev/null
 
 # Lint first: a determinism/serialization/concurrency violation fails the
-# run before we spend minutes on instrumented compiles.
-echo "== a3cs_lint =="
+# run before we spend minutes on instrumented compiles. The cross-TU graph
+# families (layering, lock order, serialization coverage — the `lint_graph`
+# ctest) run on their own first: they skip the per-file rule engine, so an
+# architectural violation fails in milliseconds.
 cmake --build "$BUILD" -j "$(nproc)" --target a3cs_lint >/dev/null
+echo "== a3cs_lint --graph-only =="
+"$BUILD/tools/a3cs_lint/a3cs_lint" --repo-root "$ROOT" --graph-only
+echo "== a3cs_lint =="
 "$BUILD/tools/a3cs_lint/a3cs_lint" --repo-root "$ROOT"
 
 # shellcheck disable=SC2086

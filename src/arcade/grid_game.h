@@ -95,6 +95,8 @@ class GridGame : public Env {
   static int clampy(int y) { return y < 0 ? 0 : (y >= kGridH ? kGridH - 1 : y); }
 
   util::Rng rng_;
+  // Fixed per-title at construction; resume rebuilds the same game from the
+  // run config before load_state. A3CS_LINT(ser-field-coverage)
   int max_steps_;
 
  private:

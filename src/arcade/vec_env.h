@@ -63,6 +63,8 @@ class VecEnv {
   static void copy_into_batch(Tensor& batch, int slot, const Tensor& obs);
   void ensure_buffers();
 
+  // Construction config: resume re-creates the same titled envs before
+  // load_state validates the count. A3CS_LINT(ser-field-coverage)
   std::string title_;
   std::vector<std::unique_ptr<Env>> envs_;
   std::vector<double> episode_scores_;
@@ -71,10 +73,12 @@ class VecEnv {
 
   // Reused across calls: the step result (obs batch + rewards + dones) and
   // the per-env scores captured inside the parallel region, committed to
-  // episode_scores_ serially in env order.
-  VecStep step_;
-  std::vector<double> finished_scores_;
-  bool buffers_ready_ = false;
+  // episode_scores_ serially in env order. Scratch only — fully rewritten
+  // by the next step(), so checkpoints skip all three (the header contract
+  // says the caller re-collects the batch after resume).
+  VecStep step_;              // A3CS_LINT(ser-field-coverage)
+  std::vector<double> finished_scores_;  // A3CS_LINT(ser-field-coverage)
+  bool buffers_ready_ = false;           // A3CS_LINT(ser-field-coverage)
 };
 
 }  // namespace a3cs::arcade

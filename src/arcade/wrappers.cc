@@ -54,7 +54,15 @@ StepResult FrameStackEnv::step(int action) {
 
 void FrameStackEnv::save_state(std::ostream& out) const {
   inner_->save_state(out);
-  util::sio::put_u32(out, static_cast<std::uint32_t>(history_.size()));
+  // Write the declared frame count, not the incidental container size:
+  // history_ is either empty (pre-reset) or exactly num_frames_ deep, and
+  // load_state validates against num_frames_, so the two must agree.
+  const std::uint32_t n =
+      history_.empty() ? 0u : static_cast<std::uint32_t>(num_frames_);
+  A3CS_CHECK(history_.empty() ||
+                 history_.size() == static_cast<std::size_t>(num_frames_),
+             "FrameStackEnv::save_state: history depth != num_frames");
+  util::sio::put_u32(out, n);
   for (const Tensor& t : history_) tensor::write_tensor(out, t);
 }
 

@@ -7,6 +7,7 @@
 #include "accel/config_io.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+// Deliberate upward edge — see the das.h include note. A3CS_LINT(arch-layering)
 #include "serve/service.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"

@@ -35,6 +35,7 @@
 
 #include "accel/predictor.h"
 #include "serve/key.h"
+#include "util/thread_annotations.h"
 
 namespace a3cs::serve {
 
@@ -129,8 +130,10 @@ class ShardedCache {
   };
   struct Shard {
     std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Digest128, std::list<Entry>::iterator, DigestHash> map;
+    // front = most recently used
+    std::list<Entry> lru A3CS_GUARDED_BY(mu);
+    std::unordered_map<Digest128, std::list<Entry>::iterator, DigestHash> map
+        A3CS_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const CacheKey& key) {

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace a3cs::util {
 
 // ObsConfig-style execution configuration: programmatic defaults plus
@@ -178,11 +180,11 @@ class ThreadPool {
 
   int threads_ = 1;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mu_;
+  std::deque<std::function<void()>> queue_ A3CS_GUARDED_BY(mu_);
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  bool stop_ = false;
+  bool stop_ A3CS_GUARDED_BY(mu_) = false;
 
   std::atomic<std::int64_t> tasks_executed_{0};
   std::atomic<std::int64_t> regions_parallel_{0};

@@ -1,0 +1,7 @@
+// arch-layering positive fixture: linted under src/nn/ this include points
+// several ranks up the DAG (serve); under src/fleet/ (same rank as serve) or
+// with a suppression it must stay silent.
+#include "serve/service.h"
+#include "util/logging.h"
+
+int answer() { return 42; }

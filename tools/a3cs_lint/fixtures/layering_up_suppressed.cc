@@ -1,0 +1,7 @@
+// arch-layering suppression fixture: the upward include carries a justified
+// inline suppression, so even under src/nn/ it must stay silent.
+// Deliberate upward edge for the test harness.  A3CS_LINT(arch-layering)
+#include "serve/service.h"
+#include "util/logging.h"
+
+int answer() { return 42; }

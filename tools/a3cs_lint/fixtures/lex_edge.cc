@@ -1,0 +1,17 @@
+// C++20 lexer edge cases (see Lex.* tests). Every construct here used to
+// have a plausible mislex: prefixes splitting into ident+string, spliced
+// line comments leaking code tokens, raw-string delimiters closing early.
+const int separated = 1'000'000;
+const char* const utf8 = u8"ünïcode body";
+const wchar_t* const wide = L"wide body";
+const char16_t* const u16 = u"u16 body";
+const char32_t* const u32 = U"u32 body";
+const wchar_t wch = L'x';
+const char16_t uch = u'y';
+// spliced comment hides the next physical line: rand(); \
+detach(); this line is still comment text
+const int after_splice = 2;
+const char* const raw = R"x(body with )" inside)x";
+const char* const raw_prefixed = LR"y(wide raw )" body)y";
+const char* const raw_u8 = u8R"(plain delim)";
+const double hexfloat = 0x1.8p-3;

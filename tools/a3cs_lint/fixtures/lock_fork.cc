@@ -1,0 +1,24 @@
+// conc-lock-order fork-under-lock fixture: under src/fleet/ the fork() in
+// spawn_locked must fire (the child inherits a locked mutex forever); the
+// fork in spawn_clean — after the guard's scope closed — must not.
+#include <mutex>
+#include <unistd.h>
+
+struct Registry {
+  std::mutex mu;
+  int workers = 0;
+};
+
+int spawn_locked(Registry& reg) {
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.workers;
+  return fork();
+}
+
+int spawn_clean(Registry& reg) {
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    ++reg.workers;
+  }
+  return fork();
+}

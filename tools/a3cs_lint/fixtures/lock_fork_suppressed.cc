@@ -1,0 +1,17 @@
+// conc-lock-order suppression fixture: fork under a held lock, but the call
+// site carries a justified inline suppression, so it must stay silent even
+// under src/fleet/.
+#include <mutex>
+#include <unistd.h>
+
+struct Registry {
+  std::mutex mu;
+  int workers = 0;
+};
+
+int spawn_locked(Registry& reg) {
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.workers;
+  // child execs immediately, never touches the registry  A3CS_LINT(conc-lock-order)
+  return fork();
+}

@@ -1,0 +1,15 @@
+// conc-lock-order fixture, first half: acquires PoolA::mu_a then PoolB::mu_b.
+// Paired with lock_order_ba.cc (the reverse order) it forms a cycle.
+#include <mutex>
+
+struct PoolA {
+  std::mutex mu_a;
+};
+struct PoolB {
+  std::mutex mu_b;
+};
+
+void transfer(PoolA& a, PoolB& b) {
+  std::lock_guard<std::mutex> la(a.mu_a);
+  std::lock_guard<std::mutex> lb(b.mu_b);
+}

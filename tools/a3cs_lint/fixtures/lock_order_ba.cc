@@ -1,0 +1,13 @@
+// conc-lock-order fixture, second half: the reverse acquisition order of
+// lock_order_ab.cc. Either TU alone is fine; together they deadlock.
+#include <mutex>
+
+struct PoolA;
+struct PoolB;
+
+void drain(PoolA& a, PoolB& b);
+
+void refill(PoolA& a, PoolB& b) {
+  std::lock_guard<std::mutex> lb(b.mu_b);
+  std::lock_guard<std::mutex> la(a.mu_a);
+}

@@ -1,0 +1,30 @@
+// ser-field-coverage positive fixture: decay_ is a data member of a class
+// with a save_state/load_state pair but appears in neither body, and the
+// reachable plain aggregate Extent has a cols field the bodies never touch.
+#include <cstdint>
+#include <iosfwd>
+
+void put(std::ostream& os, const void* p, int n);
+void get(std::istream& is, void* p, int n);
+
+struct Extent {
+  int rows = 0;
+  int cols = 0;
+};
+
+class Grid {
+ public:
+  void save_state(std::ostream& os) const {
+    put(os, &shape_.rows, 4);
+    put(os, &seed_, 8);
+  }
+  void load_state(std::istream& is) {
+    get(is, &shape_.rows, 4);
+    get(is, &seed_, 8);
+  }
+
+ private:
+  Extent shape_;
+  uint64_t seed_ = 0;
+  double decay_ = 0.5;
+};

@@ -1,0 +1,34 @@
+// ser-field-coverage negative fixture: every data member — including both
+// fields of the reachable aggregate Extent — is mentioned in save_state and
+// load_state. Must produce zero findings.
+#include <cstdint>
+#include <iosfwd>
+
+void put(std::ostream& os, const void* p, int n);
+void get(std::istream& is, void* p, int n);
+
+struct Extent {
+  int rows = 0;
+  int cols = 0;
+};
+
+class Grid {
+ public:
+  void save_state(std::ostream& os) const {
+    put(os, &shape_.rows, 4);
+    put(os, &shape_.cols, 4);
+    put(os, &seed_, 8);
+    put(os, &decay_, 8);
+  }
+  void load_state(std::istream& is) {
+    get(is, &shape_.rows, 4);
+    get(is, &shape_.cols, 4);
+    get(is, &seed_, 8);
+    get(is, &decay_, 8);
+  }
+
+ private:
+  Extent shape_;
+  uint64_t seed_ = 0;
+  double decay_ = 0.5;
+};

@@ -1,0 +1,30 @@
+// ser-field-coverage suppression fixture: same shape as ser_cov.cc but both
+// offending declarations carry justified inline suppressions, so the tree
+// must lint clean.
+#include <cstdint>
+#include <iosfwd>
+
+void put(std::ostream& os, const void* p, int n);
+void get(std::istream& is, void* p, int n);
+
+struct Extent {
+  int rows = 0;
+  int cols = 0;  // derived from rows at load time  A3CS_LINT(ser-field-coverage)
+};
+
+class Grid {
+ public:
+  void save_state(std::ostream& os) const {
+    put(os, &shape_.rows, 4);
+    put(os, &seed_, 8);
+  }
+  void load_state(std::istream& is) {
+    get(is, &shape_.rows, 4);
+    get(is, &seed_, 8);
+  }
+
+ private:
+  Extent shape_;
+  uint64_t seed_ = 0;
+  double decay_ = 0.5;  // tuning knob, reset from config  A3CS_LINT(ser-field-coverage)
+};

@@ -1,0 +1,59 @@
+// The cross-TU graph phase of a3cs-lint: rule families that only make sense
+// over the whole tree at once, joined from the per-file FileModels.
+//
+//   arch-layering       the real `src/` include graph vs the declared layer
+//                       DAG in tools/a3cs_lint/layers.txt, plus module-cycle
+//                       detection (Tarjan SCC) over the full graph
+//   conc-lock-order     per-function lock-acquisition orders canonicalized
+//                       against the repo-wide mutex-field index and merged
+//                       into one lock graph; cycles are potential deadlocks,
+//                       and fork() under a held lock in src/fleet/ is flagged
+//   ser-field-coverage  every data member of a save_state/load_state class
+//                       (and of plain aggregates it stores) must appear in
+//                       both bodies
+//
+// All three anchor findings at real source lines so the ordinary inline
+// `// A3CS_LINT(rule)` suppressions and baseline entries apply unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "rules.h"
+
+namespace a3cs_lint {
+
+// --- layers.txt ------------------------------------------------------------
+//
+// Line-oriented, '#' comments:
+//   layer <module> [<module>...]   one DAG rank, listed bottom-up; a module
+//                                  may include same-rank or lower-rank ones
+//   pervasive <module>...          cross-cutting modules includable from
+//                                  anywhere (util, obs)
+struct LayerSpec {
+  std::map<std::string, int> rank;  // module -> 0-based rank (bottom = 0)
+  std::set<std::string> pervasive;
+  bool valid = false;
+};
+
+LayerSpec parse_layers(const std::string& text);
+
+// Upward includes + module cycles. `layers_text` is the raw content of
+// layers.txt ("" when the file is missing — itself a finding).
+std::vector<Finding> check_layering(const std::vector<FileModel>& files,
+                                    const std::string& layers_text);
+
+// Lock-graph cycles and fork()-under-lock.
+std::vector<Finding> check_lock_order(const std::vector<FileModel>& files);
+
+// Unserialized data members.
+std::vector<Finding> check_ser_coverage(const std::vector<FileModel>& files);
+
+// Runs all three families, drops inline-suppressed findings (each finding's
+// path is looked up in `files` for its suppression table), and returns the
+// rest sorted by (path, line, rule). Baseline filtering stays in the driver.
+std::vector<Finding> lint_tree(const std::vector<FileModel>& files,
+                               const std::string& layers_text);
+
+}  // namespace a3cs_lint

@@ -1,0 +1,200 @@
+// arch-layering: the declared layer DAG (layers.txt) vs the real include
+// graph, plus Tarjan-SCC module-cycle detection. Cycle detection runs over
+// *every* src→src include edge — including pervasive and suppressed ones —
+// so a blessed shortcut can never hide a genuine cycle.
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "graph.h"
+
+namespace a3cs_lint {
+namespace {
+
+constexpr const char* kRule = "arch-layering";
+constexpr const char* kLayersPath = "tools/a3cs_lint/layers.txt";
+
+// Module of a quoted include target ("nn/conv.h" -> "nn"); "" when the
+// include is not module-shaped (local "lexer.h" style).
+std::string target_module(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos || slash == 0) return "";
+  return target.substr(0, slash);
+}
+
+struct Edge {
+  std::string from_module, to_module;
+  std::string path;  // include site
+  int line = 0;
+};
+
+// Tarjan strongly-connected components over a module graph. Deterministic:
+// nodes are visited in sorted-name order and adjacency sets are ordered.
+std::vector<std::vector<std::string>> sccs(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> out;
+  int next = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        const auto it = adj.find(v);
+        if (it != adj.end()) {
+          for (const std::string& w : it->second) {
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack.count(w)) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> comp;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          if (comp.size() > 1) {
+            std::sort(comp.begin(), comp.end());
+            out.push_back(std::move(comp));
+          }
+        }
+      };
+  for (const auto& [v, _] : adj) {
+    if (!index.count(v)) strongconnect(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+LayerSpec parse_layers(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int rank = 0;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;
+    std::string module;
+    if (kind == "layer") {
+      bool any = false;
+      while (fields >> module) {
+        spec.rank.emplace(module, rank);
+        any = true;
+      }
+      if (any) ++rank;
+    } else if (kind == "pervasive") {
+      while (fields >> module) spec.pervasive.insert(module);
+    } else {
+      return spec;  // unknown directive: invalid
+    }
+  }
+  spec.valid = !spec.rank.empty();
+  return spec;
+}
+
+std::vector<Finding> check_layering(const std::vector<FileModel>& files,
+                                    const std::string& layers_text) {
+  std::vector<Finding> out;
+  const LayerSpec spec = parse_layers(layers_text);
+  if (!spec.valid) {
+    out.push_back({kLayersPath, 1, kRule,
+                   "missing or unparseable layers.txt — the layer DAG must "
+                   "be declared (see docs/STATIC_ANALYSIS.md)"});
+    return out;
+  }
+
+  // Modules that actually exist as src/ directories in this tree.
+  std::set<std::string> real_modules;
+  for (const FileModel& f : files) {
+    if (!f.module.empty()) real_modules.insert(f.module);
+  }
+
+  std::vector<Edge> edges;
+  for (const FileModel& f : files) {
+    if (f.module.empty()) continue;  // layering only constrains src/
+    for (const IncludeEdge& inc : f.includes) {
+      const std::string to = target_module(inc.target);
+      if (to.empty() || to == f.module || !real_modules.count(to)) continue;
+      edges.push_back({f.module, to, f.path, inc.line});
+    }
+  }
+
+  for (const Edge& e : edges) {
+    const auto from_it = spec.rank.find(e.from_module);
+    const auto to_it = spec.rank.find(e.to_module);
+    if (from_it == spec.rank.end()) {
+      out.push_back({e.path, e.line, kRule,
+                     "module '" + e.from_module +
+                         "' is not declared in layers.txt — add it to a "
+                         "layer before it grows includes"});
+      continue;
+    }
+    if (spec.pervasive.count(e.to_module)) continue;
+    if (to_it == spec.rank.end()) {
+      out.push_back({e.path, e.line, kRule,
+                     "include of undeclared module '" + e.to_module +
+                         "' — add it to a layer in layers.txt"});
+      continue;
+    }
+    if (to_it->second > from_it->second) {
+      out.push_back({e.path, e.line, kRule,
+                     "upward include: " + e.from_module + " (layer " +
+                         std::to_string(from_it->second) + ") -> " +
+                         e.to_module + " (layer " +
+                         std::to_string(to_it->second) +
+                         ") violates the declared DAG in layers.txt"});
+    }
+  }
+
+  // Cycle detection over the full module graph, pervasive edges included.
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      site;  // representative include site per module edge
+  for (const Edge& e : edges) {
+    adj[e.from_module].insert(e.to_module);
+    adj.emplace(e.to_module, std::set<std::string>{});
+    auto key = std::make_pair(e.from_module, e.to_module);
+    auto it = site.find(key);
+    if (it == site.end() ||
+        std::tie(e.path, e.line) < std::tie(it->second.first,
+                                            it->second.second)) {
+      site[key] = {e.path, e.line};
+    }
+  }
+  for (const std::vector<std::string>& comp : sccs(adj)) {
+    std::string cycle;
+    for (const std::string& m : comp) {
+      if (!cycle.empty()) cycle += " <-> ";
+      cycle += m;
+    }
+    // Anchor at the lexicographically-first include site inside the cycle.
+    std::pair<std::string, int> anchor{"", 0};
+    const std::set<std::string> members(comp.begin(), comp.end());
+    for (const auto& [key, where] : site) {
+      if (!members.count(key.first) || !members.count(key.second)) continue;
+      if (anchor.first.empty() || where < anchor) anchor = where;
+    }
+    out.push_back({anchor.first.empty() ? kLayersPath : anchor.first,
+                   anchor.first.empty() ? 1 : anchor.second, kRule,
+                   "module cycle: " + cycle +
+                       " — break the cycle with an interface module or "
+                       "dependency inversion"});
+  }
+  return out;
+}
+
+}  // namespace a3cs_lint

@@ -50,6 +50,7 @@ class Lexer {
       } else if (c == '\'') {
         char_literal();
       } else if (c == 'R' && peek(1) == '"' && !prev_ident_char()) {
+        ++pos_;  // 'R'
         raw_string_literal();
       } else if (ident_start(c)) {
         identifier();
@@ -109,7 +110,22 @@ class Lexer {
   void line_comment() {
     const int start = line_;
     std::string text;
-    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    for (;;) {
+      while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+      // Phase-2 line splicing runs before comment recognition, so a
+      // backslash immediately before the newline continues the comment onto
+      // the next physical line — which must NOT be lexed as code.
+      std::string tail = text;
+      while (!tail.empty() && tail.back() == '\r') tail.pop_back();
+      if (pos_ < src_.size() && !tail.empty() && tail.back() == '\\') {
+        text = std::move(tail);
+        text.pop_back();  // the splice backslash is not comment text
+        ++pos_;           // consume '\n'
+        ++line_;
+        continue;
+      }
+      break;
+    }
     scan_suppression(text, start);
   }
 
@@ -148,9 +164,12 @@ class Lexer {
     out_.tokens.push_back(Token{TokKind::kString, std::move(text), start});
   }
 
+  // Called with pos_ at the opening '"' (the caller consumed any R/u8R/LR
+  // prefix). The delimiter may itself contain ')' -free text that also
+  // appears inside the body — only the exact `)delim"` sequence closes.
   void raw_string_literal() {
     const int start = line_;
-    pos_ += 2;  // R"
+    ++pos_;  // '"'
     std::string delim;
     while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
     if (pos_ < src_.size()) ++pos_;  // '('
@@ -182,9 +201,32 @@ class Lexer {
     out_.tokens.push_back(Token{TokKind::kChar, std::move(text), start});
   }
 
+  // u8/u/U/L (and their R-suffixed raw forms) directly attached to a quote
+  // are encoding prefixes, not identifiers: `u8"x"` is one string token.
+  bool is_string_prefix(const std::string& s) const {
+    return s == "u8" || s == "u" || s == "U" || s == "L";
+  }
+  bool is_raw_string_prefix(const std::string& s) const {
+    return s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+  }
+
   void identifier() {
     std::string text;
     while (pos_ < src_.size() && ident_char(src_[pos_])) text += src_[pos_++];
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (is_raw_string_prefix(text)) {
+        raw_string_literal();
+        return;
+      }
+      if (is_string_prefix(text)) {
+        string_literal();
+        return;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' && is_string_prefix(text)) {
+      char_literal();
+      return;
+    }
     push(TokKind::kIdent, std::move(text));
   }
 

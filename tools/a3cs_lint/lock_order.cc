@@ -1,0 +1,190 @@
+// conc-lock-order: canonicalizes every lock-acquisition site against the
+// repo-wide mutex-field index, merges the per-function acquisition orders
+// into one lock graph, and reports cycles (potential deadlock) plus any
+// fork() issued while a lock is held in src/fleet/ (locks don't survive
+// fork — the child inherits a locked mutex nobody will ever unlock).
+#include <algorithm>
+#include <functional>
+#include <tuple>
+
+#include "graph.h"
+
+namespace a3cs_lint {
+namespace {
+
+constexpr const char* kRule = "conc-lock-order";
+
+bool is_mutex_type(const std::vector<std::string>& type_idents) {
+  for (const std::string& t : type_idents) {
+    if (t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+        t == "timed_mutex" || t == "recursive_timed_mutex") {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string join_chain(const MutexRef& ref) {
+  std::string s;
+  for (const std::string& part : ref.chain) {
+    if (!s.empty()) s += ".";
+    s += part;
+  }
+  if (ref.is_call) s += "()";
+  return s;
+}
+
+// Where a mutex-typed field with a given name is declared.
+struct MutexDecl {
+  std::string class_name;
+  std::string module;
+  std::string path;
+};
+
+// Canonical repo-wide name for a mutex reference seen in `file` inside a
+// function of `class_name`. Precedence:
+//   1. the enclosing class declares chain[0] itself -> Class::chain
+//   2. the last chain element is a known mutex field -> DeclClass::name,
+//      preferring a declaring class in the same file, then same module,
+//      then the lexicographically-first one
+//   3. the literal chain text (locals, function-returned mutexes)
+std::string canonical_mutex(
+    const MutexRef& ref, const FileModel& file, const std::string& class_name,
+    const std::map<std::string, std::set<std::string>>& class_fields,
+    const std::multimap<std::string, MutexDecl>& mutex_decls) {
+  if (ref.chain.empty()) return "<unknown>";
+  if (!class_name.empty()) {
+    const auto it = class_fields.find(class_name);
+    if (it != class_fields.end() && it->second.count(ref.chain.front())) {
+      return class_name + "::" + join_chain(ref);
+    }
+  }
+  const std::string& leaf = ref.chain.back();
+  auto [lo, hi] = mutex_decls.equal_range(leaf);
+  const MutexDecl* best = nullptr;
+  for (auto it = lo; it != hi; ++it) {
+    const MutexDecl& d = it->second;
+    auto score = [&](const MutexDecl& m) {
+      return std::make_tuple(m.path != file.path, m.module != file.module,
+                             m.class_name, m.path);
+    };
+    if (!best || score(d) < score(*best)) best = &d;
+  }
+  if (best) return best->class_name + "::" + leaf;
+  return join_chain(ref);
+}
+
+}  // namespace
+
+std::vector<Finding> check_lock_order(const std::vector<FileModel>& files) {
+  std::vector<Finding> out;
+
+  // Repo-wide mutex-field index.
+  std::map<std::string, std::set<std::string>> class_fields;  // all fields
+  std::multimap<std::string, MutexDecl> mutex_decls;
+  for (const FileModel& f : files) {
+    for (const ClassModel& cls : f.classes) {
+      if (cls.name.empty()) continue;
+      for (const FieldDecl& field : cls.fields) {
+        class_fields[cls.name].insert(field.name);
+        if (is_mutex_type(field.type_idents)) {
+          mutex_decls.emplace(field.name,
+                              MutexDecl{cls.name, f.module, f.path});
+        }
+      }
+    }
+  }
+
+  // Merge per-function acquisition orders into one graph. Each directed
+  // edge keeps its lexicographically-first acquisition site for anchoring.
+  std::map<std::pair<std::string, std::string>,
+           std::tuple<std::string, int, std::string>>
+      edge_site;  // (from,to) -> (path, line, function)
+  for (const FileModel& f : files) {
+    if (f.module.empty()) continue;  // graph rules constrain src/ only
+    for (const FunctionModel& fn : f.functions) {
+      for (const RawLockEdge& e : fn.lock_edges) {
+        const std::string from = canonical_mutex(e.from, f, fn.class_name,
+                                                 class_fields, mutex_decls);
+        const std::string to = canonical_mutex(e.to, f, fn.class_name,
+                                               class_fields, mutex_decls);
+        if (from == to) continue;
+        const auto key = std::make_pair(from, to);
+        auto site = std::make_tuple(f.path, e.line, fn.name);
+        const auto it = edge_site.find(key);
+        if (it == edge_site.end() || site < it->second) {
+          edge_site[key] = std::move(site);
+        }
+      }
+      // fork() under a held lock: pthread_atfork-free code must never fork
+      // with locks held — the child's copy stays locked forever.
+      if (f.path.rfind("src/fleet/", 0) == 0) {
+        for (const auto& [ref, line] : fn.fork_while_locked) {
+          const std::string held = canonical_mutex(ref, f, fn.class_name,
+                                                   class_fields, mutex_decls);
+          out.push_back({f.path, line, kRule,
+                         "fork() while holding " + held +
+                             " — the child inherits a locked mutex that can "
+                             "never be released; drop all locks before "
+                             "forking"});
+        }
+      }
+    }
+  }
+
+  // Tarjan SCC over the lock graph; every edge inside a cycle is reported
+  // at its own acquisition site so fixes/suppressions are local.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, _] : edge_site) {
+    adj[key.first].insert(key.second);
+    adj.emplace(key.second, std::set<std::string>{});
+  }
+  std::map<std::string, int> index, low, comp_of;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next = 0, comps = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const std::string& w : adj[v]) {
+          if (!index.count(w)) {
+            strongconnect(w);
+            low[v] = std::min(low[v], low[w]);
+          } else if (on_stack.count(w)) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        }
+        if (low[v] == index[v]) {
+          const int c = comps++;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            comp_of[w] = c;
+            if (w == v) break;
+          }
+        }
+      };
+  for (const auto& [v, _] : adj) {
+    if (!index.count(v)) strongconnect(v);
+  }
+  std::map<int, int> comp_size;
+  for (const auto& [_, c] : comp_of) ++comp_size[c];
+  for (const auto& [key, site] : edge_site) {
+    const auto& [from, to] = key;
+    if (comp_of[from] != comp_of[to] || comp_size[comp_of[from]] < 2) {
+      continue;
+    }
+    const auto& [path, line, fn_name] = site;
+    out.push_back({path, line, kRule,
+                   "lock-order cycle: " + from + " is held while acquiring " +
+                       to + " in " + (fn_name.empty() ? "?" : fn_name) +
+                       "(), and the reverse order exists elsewhere — "
+                       "potential deadlock; pick one global order"});
+  }
+  return out;
+}
+
+}  // namespace a3cs_lint

@@ -1,12 +1,21 @@
-// a3cs-lint driver: walks src/, tests/, bench/ and examples/, runs the rule
-// engine over every C++ source file, applies the checked-in baseline, and
-// exits non-zero when unsuppressed findings remain. Registered as the `lint`
-// ctest so tier-1 catches invariant regressions at build time.
+// a3cs-lint driver: walks src/, tests/, bench/ and examples/, builds the
+// per-TU analysis models in parallel on util::ThreadPool (A3CS_THREADS),
+// runs the per-file rule engine plus the cross-TU graph phase (arch-layering
+// against tools/a3cs_lint/layers.txt, conc-lock-order, ser-field-coverage),
+// applies the checked-in baseline, and exits non-zero when unsuppressed
+// findings remain. Registered as the `lint` ctest so tier-1 catches
+// invariant regressions at build time.
+//
+// Model building and per-file rules are embarrassingly parallel and write
+// into index-ordered slots, so the report is byte-identical at every
+// A3CS_THREADS value — the same determinism contract as the numeric kernels.
 //
 //   a3cs_lint --repo-root <dir>              lint the tree
+//   a3cs_lint --repo-root <dir> --json       machine-readable findings
+//   a3cs_lint --repo-root <dir> --graph-only cross-TU families only
 //   a3cs_lint --repo-root <dir> --update-a3ck-fingerprint
 //   a3cs_lint --list-rules
-//   a3cs_lint --repo-root <dir> file.cc ...  lint specific files only
+//   a3cs_lint --repo-root <dir> file.cc ...  per-file rules on those files
 //
 // See docs/STATIC_ANALYSIS.md for the rule catalog and suppression workflow.
 #include <algorithm>
@@ -19,7 +28,11 @@
 #include <utility>
 #include <vector>
 
+#include "graph.h"
+#include "model.h"
+#include "report.h"
 #include "rules.h"
+#include "util/thread_pool.h"
 
 namespace fs = std::filesystem;
 
@@ -28,6 +41,7 @@ namespace {
 constexpr const char* kWalkDirs[] = {"src", "tests", "bench", "examples"};
 constexpr const char* kBaselineRel = "tools/a3cs_lint/baseline.txt";
 constexpr const char* kFingerprintRel = "tools/a3cs_lint/a3ck_layout.txt";
+constexpr const char* kLayersRel = "tools/a3cs_lint/layers.txt";
 constexpr const char* kSectionHeaderRel = "src/ckpt/section_file.h";
 
 bool has_cpp_extension(const fs::path& p) {
@@ -69,6 +83,7 @@ std::set<std::pair<std::string, std::string>> load_baseline(
 int usage() {
   std::cerr
       << "usage: a3cs_lint [--repo-root DIR] [--baseline FILE|--no-baseline]\n"
+         "                 [--json] [--graph-only]\n"
          "                 [--update-a3ck-fingerprint] [--list-rules]\n"
          "                 [files...]\n";
   return 2;
@@ -81,6 +96,8 @@ int main(int argc, char** argv) {
   fs::path baseline_path;
   bool use_baseline = true;
   bool update_fingerprint = false;
+  bool json = false;
+  bool graph_only = false;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -93,6 +110,10 @@ int main(int argc, char** argv) {
       use_baseline = false;
     } else if (arg == "--update-a3ck-fingerprint") {
       update_fingerprint = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--graph-only") {
+      graph_only = true;
     } else if (arg == "--list-rules") {
       for (const auto& [id, desc] : a3cs_lint::rule_catalog()) {
         std::cout << id << "\t" << desc << "\n";
@@ -148,28 +169,60 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<a3cs_lint::Finding> findings;
-  for (const fs::path& file : files) {
+  // Read serially (I/O), then build every TU's model and run the per-file
+  // rules in parallel. Each index writes only its own slot, so the merged
+  // report is byte-identical at any A3CS_THREADS (including 1).
+  const std::int64_t n = static_cast<std::int64_t>(files.size());
+  std::vector<std::string> rel(files.size()), sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
     bool ok = false;
-    const std::string source = read_file(file, &ok);
+    sources[i] = read_file(files[i], &ok);
     if (!ok) {
-      std::cerr << "a3cs_lint: cannot read " << file << "\n";
+      std::cerr << "a3cs_lint: cannot read " << files[i] << "\n";
       return 2;
     }
-    for (auto& f : a3cs_lint::lint_source(rel_path(root, file), source)) {
-      findings.push_back(std::move(f));
-    }
+    rel[i] = rel_path(root, files[i]);
   }
 
-  // Whole-tree walks also verify the A3CK layout fingerprint.
+  a3cs::util::ThreadPool pool(
+      a3cs::util::ExecConfig{}.with_env_overrides().resolved_threads());
+  std::vector<a3cs_lint::FileModel> models(files.size());
+  std::vector<std::vector<a3cs_lint::Finding>> per_file(files.size());
+  pool.parallel_for(
+      0, n, 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          models[u] = a3cs_lint::build_file_model(rel[u], sources[u]);
+          if (!graph_only) {
+            per_file[u] = a3cs_lint::lint_file_model(models[u]);
+          }
+        }
+      },
+      "lint.model");
+
+  std::vector<a3cs_lint::Finding> findings;
+  for (auto& file_findings : per_file) {
+    for (auto& f : file_findings) findings.push_back(std::move(f));
+  }
+
+  // Whole-tree walks run the cross-TU graph phase and verify the A3CK
+  // layout fingerprint; explicit-file runs see too little of the tree for
+  // either to be meaningful.
   if (explicit_files.empty()) {
-    bool ok = false;
-    const std::string header = read_file(root / kSectionHeaderRel, &ok);
-    if (ok) {
-      const std::string record = read_file(root / kFingerprintRel);
-      for (auto& f : a3cs_lint::check_layout_fingerprint(
-               kSectionHeaderRel, header, record)) {
-        findings.push_back(std::move(f));
+    const std::string layers_text = read_file(root / kLayersRel);
+    for (auto& f : a3cs_lint::lint_tree(models, layers_text)) {
+      findings.push_back(std::move(f));
+    }
+    if (!graph_only) {
+      bool ok = false;
+      const std::string header = read_file(root / kSectionHeaderRel, &ok);
+      if (ok) {
+        const std::string record = read_file(root / kFingerprintRel);
+        for (auto& f : a3cs_lint::check_layout_fingerprint(
+                 kSectionHeaderRel, header, record)) {
+          findings.push_back(std::move(f));
+        }
       }
     }
   }
@@ -191,6 +244,10 @@ int main(int argc, char** argv) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+  if (json) {
+    std::cout << a3cs_lint::render_json(findings, files.size());
+    return findings.empty() ? 0 : 1;
+  }
   for (const auto& f : findings) {
     std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";

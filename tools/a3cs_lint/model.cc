@@ -1,0 +1,658 @@
+#include "model.h"
+
+#include <algorithm>
+
+namespace a3cs_lint {
+namespace {
+
+bool is_ser_fn_name(const std::string& s) {
+  return s == "save_state" || s == "load_state" || s == "save_params" ||
+         s == "load_params" || s == "encode" || s == "serialize";
+}
+
+enum Kind { kNamespace, kClass, kEnum, kFn, kSerFn, kBlock };
+
+// One function-ish brace span opened from namespace/class scope (method
+// bodies, free functions, serialization bodies, stray initializer blocks).
+struct BodySpan {
+  std::size_t open = 0;    // token index of '{'
+  std::size_t close = 0;   // token index of matching '}' (n if unterminated)
+  std::string name;        // best-effort ("" when unknown)
+  std::string class_name;  // enclosing class or out-of-line `Class::` ("")
+  int line = 0;
+  bool is_ser = false;     // classified as a serialization-fn body
+};
+
+struct Walk {
+  ScopeInfo scopes;
+  std::vector<int> class_of_token;  // direct-member class index or -1
+  std::vector<BodySpan> bodies;
+};
+
+// Best-effort name of the function whose body opens at brace index `b`:
+// scan back over trailing qualifiers to the parameter-list ')' and match it
+// to its '(' — the identifier before that is the name, optionally preceded
+// by a `Class ::` qualifier.
+void name_function(const std::vector<Token>& toks, std::size_t b,
+                   BodySpan* span) {
+  static const std::set<std::string> kTrailing = {
+      "const", "noexcept", "override", "final", "mutable", "try"};
+  auto is_punct = [&](std::size_t i, const char* p) {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+           toks[i].text == p;
+  };
+  std::size_t j = b;
+  while (j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+         kTrailing.count(toks[j - 1].text)) {
+    --j;
+  }
+  if (j == 0 || !is_punct(j - 1, ")")) return;
+  int paren = 0;
+  for (j = j - 1;; --j) {
+    if (is_punct(j, ")")) ++paren;
+    else if (is_punct(j, "(") && --paren == 0) break;
+    if (j == 0) return;
+  }
+  if (j == 0 || toks[j - 1].kind != TokKind::kIdent) return;
+  span->name = toks[j - 1].text;
+  span->line = toks[j - 1].line;
+  if (j >= 3 && is_punct(j - 2, "::") && toks[j - 3].kind == TokKind::kIdent) {
+    span->class_name = toks[j - 3].text;
+  }
+}
+
+// The full structural walk. walk_scopes() is the historical subset view;
+// build_file_model() consumes everything.
+Walk walk_full(const std::vector<Token>& toks) {
+  Walk out;
+  ScopeInfo& info = out.scopes;
+  const std::size_t n = toks.size();
+  info.at_ns_scope.assign(n, false);
+  info.in_function.assign(n, false);
+  info.in_ser_fn.assign(n, false);
+  info.at_class_scope.assign(n, false);
+  out.class_of_token.assign(n, -1);
+
+  auto is_punct = [&](std::size_t i, const char* p) {
+    return i < n && toks[i].kind == TokKind::kPunct && toks[i].text == p;
+  };
+  auto is_ident = [&](std::size_t i) {
+    return i < n && toks[i].kind == TokKind::kIdent;
+  };
+
+  // Pre-classify braces opened by class/struct/enum/namespace heads and by
+  // serialization-function definitions: token index of '{' -> kind.
+  std::map<std::size_t, Kind> brace_kind;
+  std::map<std::size_t, std::pair<std::string, int>> class_heads;
+  std::map<std::size_t, std::size_t> ser_name_tok;  // '{' -> name token
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+
+    if (t == "namespace") {
+      // namespace [name[::name]] { ...   (alias form ends in ';')
+      std::size_t j = i + 1;
+      while (j < n && (is_ident(j) || is_punct(j, "::"))) ++j;
+      if (is_punct(j, "{")) brace_kind[j] = kNamespace;
+    } else if (t == "enum") {
+      std::size_t j = i + 1;
+      if (is_ident(j) && (toks[j].text == "class" || toks[j].text == "struct"))
+        ++j;
+      if (is_ident(j)) ++j;               // enum name
+      if (is_punct(j, ":")) {             // underlying type
+        ++j;
+        while (j < n && (is_ident(j) || is_punct(j, "::"))) ++j;
+      }
+      if (is_punct(j, "{")) brace_kind[j] = kEnum;
+    } else if (t == "class" || t == "struct" || t == "union") {
+      if (i > 0 && is_ident(i - 1) && toks[i - 1].text == "enum") continue;
+      std::size_t j = i + 1;
+      std::string name;
+      if (is_ident(j)) {
+        name = toks[j].text;
+        ++j;
+        if (is_ident(j) && toks[j].text == "final") ++j;
+      }
+      if (is_punct(j, "{")) {
+        brace_kind[j] = kClass;
+        class_heads[j] = {name, toks[i].line};
+      } else if (is_punct(j, ":")) {
+        // Base-clause: scan to the first '{' or ';' outside parens/angles
+        // opened here. Angle depth guards Base<int> in the clause.
+        int angle = 0, paren = 0;
+        for (++j; j < n; ++j) {
+          const Token& tk = toks[j];
+          if (tk.kind != TokKind::kPunct) continue;
+          if (tk.text == "<") ++angle;
+          else if (tk.text == ">") angle = std::max(0, angle - 1);
+          else if (tk.text == "(") ++paren;
+          else if (tk.text == ")") --paren;
+          else if (tk.text == "{" && angle == 0 && paren == 0) {
+            brace_kind[j] = kClass;
+            class_heads[j] = {name, toks[i].line};
+            break;
+          } else if (tk.text == ";" && angle == 0 && paren == 0) {
+            break;
+          }
+        }
+      }
+      // `class T` in template parameter lists is followed by ',' or '>' and
+      // is left unclassified on purpose.
+    } else if (is_ser_fn_name(t) && is_punct(i + 1, "(")) {
+      // save_state(...) [const] [noexcept] [final] [override] { body }
+      int paren = 0;
+      std::size_t j = i + 1;
+      for (; j < n; ++j) {
+        if (is_punct(j, "(")) ++paren;
+        else if (is_punct(j, ")") && --paren == 0) { ++j; break; }
+      }
+      while (j < n && is_ident(j) &&
+             (toks[j].text == "const" || toks[j].text == "noexcept" ||
+              toks[j].text == "final" || toks[j].text == "override")) {
+        ++j;
+      }
+      if (is_punct(j, "{")) {
+        brace_kind[j] = kSerFn;
+        ser_name_tok[j] = i;
+      }
+    }
+  }
+
+  struct Open {
+    Kind kind;
+    int class_index = -1;  // into ScopeInfo::classes when kind == kClass
+    int body_index = -1;   // into Walk::bodies when this brace opened one
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Record context flags for this token (before handling its own brace).
+    bool ns = true, in_fn = false, in_ser = false;
+    for (const Open& o : stack) {
+      if (o.kind != kNamespace) ns = false;
+      if (o.kind == kFn || o.kind == kSerFn || o.kind == kBlock) in_fn = true;
+      if (o.kind == kSerFn) in_ser = true;
+    }
+    info.at_ns_scope[i] = ns;
+    info.in_function[i] = in_fn;
+    info.in_ser_fn[i] = in_ser;
+    info.at_class_scope[i] = !stack.empty() && stack.back().kind == kClass;
+    if (info.at_class_scope[i]) {
+      out.class_of_token[i] = stack.back().class_index;
+    }
+
+    if (toks[i].kind == TokKind::kPunct) {
+      if (toks[i].text == "{") {
+        Open o;
+        const auto it = brace_kind.find(i);
+        if (it != brace_kind.end()) {
+          o.kind = it->second;
+          if (o.kind == kClass) {
+            const auto& [name, line] = class_heads[i];
+            o.class_index = static_cast<int>(info.classes.size());
+            info.classes.push_back({name, line, false, false});
+          }
+        } else {
+          // Unclassified braces after ')' open function bodies; everything
+          // else (initializer lists, lambdas, compound statements) is a
+          // plain block — both count as "inside a function" for the rules.
+          o.kind = (i > 0 && is_punct(i - 1, ")")) ? kFn : kBlock;
+        }
+        // The outermost function-ish brace (not nested inside another
+        // function) opens a BodySpan for the concurrency/ser analyses.
+        if ((o.kind == kFn || o.kind == kSerFn || o.kind == kBlock) &&
+            !in_fn) {
+          BodySpan span;
+          span.open = i;
+          span.close = n;
+          span.line = toks[i].line;
+          if (o.kind == kSerFn) {
+            span.is_ser = true;
+            const std::size_t name_tok = ser_name_tok[i];
+            span.name = toks[name_tok].text;
+            span.line = toks[name_tok].line;
+            if (name_tok >= 2 && is_punct(name_tok - 1, "::") &&
+                is_ident(name_tok - 2)) {
+              span.class_name = toks[name_tok - 2].text;
+            }
+          } else if (o.kind == kFn) {
+            name_function(toks, i, &span);
+          }
+          // An inline method's class is the enclosing one; it wins over any
+          // (absent) out-of-line qualifier.
+          for (auto r = stack.rbegin(); r != stack.rend(); ++r) {
+            if (r->kind == kClass && r->class_index >= 0) {
+              span.class_name = info.classes[r->class_index].name;
+              break;
+            }
+          }
+          o.body_index = static_cast<int>(out.bodies.size());
+          out.bodies.push_back(std::move(span));
+        }
+        stack.push_back(o);
+      } else if (toks[i].text == "}") {
+        if (!stack.empty()) {
+          if (stack.back().body_index >= 0) {
+            out.bodies[static_cast<std::size_t>(stack.back().body_index)]
+                .close = i;
+          }
+          stack.pop_back();
+        }
+      }
+      continue;
+    }
+
+    // ser-pair bookkeeping: a save_state/load_state member declared directly
+    // at class scope (not a call inside an inline method body).
+    if (toks[i].kind == TokKind::kIdent && info.at_class_scope[i] &&
+        is_punct(i + 1, "(")) {
+      if (!stack.empty() && stack.back().class_index >= 0) {
+        auto& cls = info.classes[stack.back().class_index];
+        if (toks[i].text == "save_state") cls.has_save = true;
+        if (toks[i].text == "load_state") cls.has_load = true;
+      }
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- field extraction --
+
+// Splits the direct-member token subsequence of each class into declaration
+// chunks and recognizes data members. Method bodies, nested classes and
+// brace initializers are excluded by construction: their tokens carry a
+// different class_of_token (or none), and '{'/'}' terminate chunks.
+void extract_fields(const std::vector<Token>& toks, const Walk& walk,
+                    std::vector<ClassModel>* classes) {
+  static const std::set<std::string> kSkipKeywords = {
+      "using",  "typedef", "friend",    "template", "operator",
+      "static_assert", "enum", "class", "struct",   "union", "namespace"};
+  static const std::set<std::string> kAccess = {"public", "private",
+                                                "protected"};
+
+  const std::size_t nclasses = walk.scopes.classes.size();
+  std::vector<std::vector<std::size_t>> member_toks(nclasses);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const int c = walk.class_of_token[i];
+    if (c >= 0) member_toks[static_cast<std::size_t>(c)].push_back(i);
+  }
+
+  for (std::size_t c = 0; c < nclasses; ++c) {
+    const ScopeInfo::ClassSpan& span = walk.scopes.classes[c];
+    ClassModel cls;
+    cls.name = span.name;
+    cls.line = span.line;
+    cls.has_save = span.has_save;
+    cls.has_load = span.has_load;
+
+    std::vector<std::size_t> chunk;
+    auto flush = [&]() {
+      std::vector<std::size_t> decl = std::move(chunk);
+      chunk.clear();
+      // Strip leading access specifiers ("public :").
+      while (decl.size() >= 2 && toks[decl[0]].kind == TokKind::kIdent &&
+             kAccess.count(toks[decl[0]].text) &&
+             toks[decl[1]].kind == TokKind::kPunct &&
+             toks[decl[1]].text == ":") {
+        decl.erase(decl.begin(), decl.begin() + 2);
+      }
+      if (decl.empty()) return;
+      // Classify: a '(' at angle depth 0 marks a function declaration (or a
+      // macro invocation — either way, not a data member).
+      int angle = 0;
+      bool has_paren = false, keyword = false;
+      std::size_t eq_at = decl.size();
+      for (std::size_t k = 0; k < decl.size(); ++k) {
+        const Token& t = toks[decl[k]];
+        if (t.kind == TokKind::kIdent && kSkipKeywords.count(t.text)) {
+          keyword = true;
+          break;
+        }
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == "<") ++angle;
+        else if (t.text == ">") angle = std::max(0, angle - 1);
+        else if (t.text == "(" && angle == 0) { has_paren = true; break; }
+        else if (t.text == "=" && angle == 0 && eq_at == decl.size()) {
+          eq_at = k;
+        }
+      }
+      if (keyword) return;
+      if (has_paren) {
+        cls.has_methods = true;
+        return;
+      }
+      // Declarator list: `double alpha_, eps_ = 1e-5;` declares two fields
+      // sharing one type. Split at top-level commas (angle/paren depth 0);
+      // each segment's name is its last identifier before any '='.
+      std::vector<std::pair<std::size_t, std::size_t>> segments;
+      angle = 0;
+      int paren = 0;
+      std::size_t seg_start = 0;
+      for (std::size_t k = 0; k <= decl.size(); ++k) {
+        const bool at_end = (k == decl.size());
+        if (!at_end && toks[decl[k]].kind == TokKind::kPunct) {
+          const std::string& p = toks[decl[k]].text;
+          if (p == "<") ++angle;
+          else if (p == ">") angle = std::max(0, angle - 1);
+          else if (p == "(" || p == "[") ++paren;
+          else if (p == ")" || p == "]") --paren;
+        }
+        if (at_end || (angle == 0 && paren == 0 &&
+                       toks[decl[k]].kind == TokKind::kPunct &&
+                       toks[decl[k]].text == ",")) {
+          if (k > seg_start) segments.emplace_back(seg_start, k);
+          seg_start = k + 1;
+        }
+      }
+      if (segments.empty()) return;
+
+      // The first segment carries the type; its name is the last identifier
+      // before the initializer.
+      const auto [t_begin, t_end] = segments.front();
+      std::size_t first_eq = t_end;
+      angle = 0;
+      for (std::size_t k = t_begin; k < t_end; ++k) {
+        if (toks[decl[k]].kind != TokKind::kPunct) continue;
+        const std::string& p = toks[decl[k]].text;
+        if (p == "<") ++angle;
+        else if (p == ">") angle = std::max(0, angle - 1);
+        else if (p == "=" && angle == 0) { first_eq = k; break; }
+      }
+      std::size_t name_at = t_end;
+      for (std::size_t k = first_eq; k-- > t_begin;) {
+        if (toks[decl[k]].kind == TokKind::kIdent) {
+          name_at = k;
+          break;
+        }
+      }
+      if (name_at == t_end || name_at == t_begin) return;  // no type portion
+
+      FieldDecl proto;
+      angle = 0;
+      for (std::size_t k = t_begin; k < name_at; ++k) {
+        const Token& t = toks[decl[k]];
+        if (t.kind == TokKind::kIdent) {
+          if (t.text == "static") proto.is_static = true;
+          else if (angle == 0 && (t.text == "const" || t.text == "constexpr"))
+            proto.is_const = true;
+          if (t.text != "static" && t.text != "mutable" &&
+              t.text != "volatile" && t.text != "inline") {
+            proto.type_idents.push_back(t.text);
+          }
+        } else if (t.kind == TokKind::kPunct) {
+          if (t.text == "<") ++angle;
+          else if (t.text == ">") angle = std::max(0, angle - 1);
+          else if (t.text == "&" && angle == 0) proto.is_reference = true;
+        }
+      }
+      if (proto.type_idents.empty()) return;
+
+      auto emit = [&](std::size_t at) {
+        FieldDecl field = proto;
+        field.name = toks[decl[at]].text;
+        field.line = toks[decl[at]].line;
+        cls.fields.push_back(std::move(field));
+      };
+      emit(name_at);
+      for (std::size_t s = 1; s < segments.size(); ++s) {
+        const auto [s_begin, s_end] = segments[s];
+        std::size_t seg_eq = s_end;
+        angle = 0;
+        for (std::size_t k = s_begin; k < s_end; ++k) {
+          if (toks[decl[k]].kind != TokKind::kPunct) continue;
+          const std::string& p = toks[decl[k]].text;
+          if (p == "<") ++angle;
+          else if (p == ">") angle = std::max(0, angle - 1);
+          else if (p == "=" && angle == 0) { seg_eq = k; break; }
+        }
+        for (std::size_t k = seg_eq; k-- > s_begin;) {
+          if (toks[decl[k]].kind == TokKind::kIdent) {
+            emit(k);
+            break;
+          }
+        }
+      }
+    };
+
+    for (const std::size_t i : member_toks[c]) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        flush();
+        continue;
+      }
+      chunk.push_back(i);
+    }
+    flush();
+    classes->push_back(std::move(cls));
+  }
+}
+
+// ------------------------------------------------------------ lock scanning --
+
+// Reduces a mutex argument expression to its base identifier chain.
+// `shards_[i]->mu` -> {shards_, mu}; `global_pool_mu()` -> call
+// {global_pool_mu}; a leading `this ->` is dropped.
+MutexRef parse_mutex_ref(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end) {
+  MutexRef ref;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "this") continue;
+      if (i + 1 < end && toks[i + 1].kind == TokKind::kPunct &&
+          toks[i + 1].text == "(") {
+        ref.chain.push_back(t.text);
+        ref.is_call = true;
+        break;
+      }
+      ref.chain.push_back(t.text);
+    } else if (t.kind == TokKind::kPunct) {
+      if (t.text == "[") {  // skip the subscript expression
+        int depth = 0;
+        for (; i < end; ++i) {
+          if (toks[i].kind != TokKind::kPunct) continue;
+          if (toks[i].text == "[") ++depth;
+          else if (toks[i].text == "]" && --depth == 0) break;
+        }
+      }
+      // '.', '-', '>', '::', '*', '&', ']' all just continue the chain.
+    }
+  }
+  return ref;
+}
+
+std::string mutex_ref_text(const MutexRef& ref) {
+  std::string s;
+  for (const auto& part : ref.chain) {
+    if (!s.empty()) s += ".";
+    s += part;
+  }
+  if (ref.is_call) s += "()";
+  return s.empty() ? "<unknown>" : s;
+}
+
+bool is_lock_type(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+// Scans one function body for RAII lock acquisitions and raw fork calls.
+void scan_body(const std::vector<Token>& toks, const BodySpan& span,
+               FunctionModel* fn) {
+  struct Held {
+    int depth;
+    MutexRef ref;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  auto is_punct = [&](std::size_t i, const char* p) {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+           toks[i].text == p;
+  };
+
+  for (std::size_t i = span.open + 1; i < span.close && i < toks.size();
+       ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+      } else if (t.text == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    if ((t.text == "fork" || t.text == "vfork") && is_punct(i + 1, "(") &&
+        !is_punct(i - 1, ".") &&
+        !(is_punct(i - 1, ">") && is_punct(i - 2, "-")) && !held.empty()) {
+      for (const Held& h : held) {
+        fn->fork_while_locked.push_back({h.ref, t.line});
+      }
+      continue;
+    }
+    if (!is_lock_type(t.text)) continue;
+
+    // std::lock_guard<std::mutex> name(args...); — skip template args, the
+    // variable name, then parse the parenthesized argument list.
+    std::size_t j = i + 1;
+    if (is_punct(j, "<")) {
+      int angle = 0;
+      for (; j < span.close; ++j) {
+        if (is_punct(j, "<")) ++angle;
+        else if (is_punct(j, ">") && --angle == 0) { ++j; break; }
+      }
+    }
+    if (j >= span.close || toks[j].kind != TokKind::kIdent) continue;
+    ++j;  // variable name
+    if (!is_punct(j, "(")) continue;
+    const std::size_t args_begin = j + 1;
+    int paren = 0;
+    std::size_t args_end = args_begin;
+    for (std::size_t k = j; k < span.close; ++k) {
+      if (is_punct(k, "(")) ++paren;
+      else if (is_punct(k, ")") && --paren == 0) { args_end = k; break; }
+    }
+    // Split top-level commas; every argument that is not a lock tag is a
+    // mutex expression. std::scoped_lock's own arguments acquire atomically
+    // (deadlock-avoiding), so they get no edges among themselves.
+    static const std::set<std::string> kTags = {"defer_lock", "try_to_lock",
+                                                "adopt_lock"};
+    std::vector<MutexRef> acquired;
+    std::size_t arg_start = args_begin;
+    int adepth = 0;
+    for (std::size_t k = args_begin; k <= args_end; ++k) {
+      const bool at_end = (k == args_end);
+      if (!at_end && toks[k].kind == TokKind::kPunct) {
+        if (toks[k].text == "(" || toks[k].text == "[" || toks[k].text == "<")
+          ++adepth;
+        else if (toks[k].text == ")" || toks[k].text == "]" ||
+                 toks[k].text == ">")
+          --adepth;
+      }
+      if (at_end || (adepth == 0 && toks[k].kind == TokKind::kPunct &&
+                     toks[k].text == ",")) {
+        if (k > arg_start) {
+          bool tag = false;
+          for (std::size_t m = arg_start; m < k; ++m) {
+            if (toks[m].kind == TokKind::kIdent && kTags.count(toks[m].text))
+              tag = true;
+          }
+          if (!tag) {
+            MutexRef ref = parse_mutex_ref(toks, arg_start, k);
+            if (!ref.chain.empty()) acquired.push_back(std::move(ref));
+          }
+        }
+        arg_start = k + 1;
+      }
+    }
+    if (t.text != "scoped_lock" && acquired.size() > 1) acquired.resize(1);
+    for (const MutexRef& m : acquired) {
+      for (const Held& h : held) {
+        if (mutex_ref_text(h.ref) == mutex_ref_text(m)) continue;
+        fn->lock_edges.push_back({h.ref, m, t.line});
+      }
+    }
+    for (MutexRef& m : acquired) held.push_back({depth, std::move(m)});
+    i = args_end;
+  }
+}
+
+// ------------------------------------------------------------------ includes --
+
+void extract_includes(const LexedFile& lex, std::vector<IncludeEdge>* out) {
+  for (std::size_t l = 0; l < lex.lines.size(); ++l) {
+    const std::string& text = lex.lines[l];
+    const std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos || text[first] != '#') continue;
+    std::size_t at = text.find("include", first);
+    if (at == std::string::npos) continue;
+    at = text.find('"', at);
+    if (at == std::string::npos) continue;  // <system> includes don't layer
+    const std::size_t close = text.find('"', at + 1);
+    if (close == std::string::npos) continue;
+    out->push_back(
+        {text.substr(at + 1, close - at - 1), static_cast<int>(l + 1)});
+  }
+}
+
+std::string module_of_path(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace
+
+ScopeInfo walk_scopes(const std::vector<Token>& toks) {
+  return walk_full(toks).scopes;
+}
+
+bool is_suppressed(const LexedFile& lex, int line, const std::string& rule) {
+  const auto it = lex.suppressions.find(line);
+  return it != lex.suppressions.end() &&
+         (it->second.count(rule) || it->second.count("all"));
+}
+
+FileModel build_file_model(const std::string& path,
+                           const std::string& source) {
+  FileModel model;
+  model.path = path;
+  model.module = module_of_path(path);
+  model.lex = lex(source);
+  const std::vector<Token>& toks = model.lex.tokens;
+  Walk walk = walk_full(toks);
+
+  extract_includes(model.lex, &model.includes);
+  extract_fields(toks, walk, &model.classes);
+  model.scopes = std::move(walk.scopes);
+
+  for (const BodySpan& span : walk.bodies) {
+    if (span.is_ser &&
+        (span.name == "save_state" || span.name == "load_state") &&
+        !span.class_name.empty()) {
+      SerBody body;
+      body.class_name = span.class_name;
+      body.is_save = span.name == "save_state";
+      body.line = span.line;
+      for (std::size_t i = span.open + 1;
+           i < span.close && i < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::kIdent) body.idents.insert(toks[i].text);
+      }
+      model.ser_bodies.push_back(std::move(body));
+    }
+    FunctionModel fn;
+    fn.name = span.name;
+    fn.class_name = span.class_name;
+    fn.line = span.line;
+    scan_body(toks, span, &fn);
+    if (!fn.lock_edges.empty() || !fn.fork_while_locked.empty()) {
+      model.functions.push_back(std::move(fn));
+    }
+  }
+  return model;
+}
+
+}  // namespace a3cs_lint

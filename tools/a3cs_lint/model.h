@@ -1,0 +1,142 @@
+// The a3cs-lint analysis model: everything the rule engine knows about one
+// translation unit, computed in a single lex + scope walk per file.
+//
+// PR 5's rules each re-derived what they needed from the raw token stream;
+// the cross-TU rule families (arch-layering, conc-lock-order,
+// ser-field-coverage) need an *indexed* view of the whole tree — include
+// edges, class field declarations, mutex members, lock-acquisition order —
+// so the walk now materializes a FileModel per TU. Per-file rules keep
+// reading the ScopeInfo they always did; the graph phase (graph.h) joins
+// the FileModels into repo-wide structures.
+//
+// Building a FileModel is pure and file-local (no filesystem, no globals),
+// which is what lets the driver lex all TUs in parallel on util::ThreadPool
+// with a deterministic, file-ordered report.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace a3cs_lint {
+
+// --------------------------------------------------------------- scopes ----
+
+// Per-token structural context, computed in one pass over the token stream.
+// Keeps the rule bodies to honest token matching instead of each re-deriving
+// brace structure.
+struct ScopeInfo {
+  // Token i sits at namespace/file scope (not inside class/function/enum).
+  std::vector<bool> at_ns_scope;
+  // Token i sits inside a function or plain block body.
+  std::vector<bool> in_function;
+  // Token i sits inside the body of a serialization function
+  // (save_state/load_state/save_params/load_params/encode/serialize).
+  std::vector<bool> in_ser_fn;
+  // Token i is a direct class member position (innermost scope is a class).
+  std::vector<bool> at_class_scope;
+
+  struct ClassSpan {
+    std::string name;
+    int line = 0;
+    bool has_save = false;
+    bool has_load = false;
+  };
+  std::vector<ClassSpan> classes;
+};
+
+ScopeInfo walk_scopes(const std::vector<Token>& toks);
+
+// ---------------------------------------------------------------- model ----
+
+// One data-member declaration at class scope. `type_idents` holds every
+// identifier of the declaration's type portion in order (e.g.
+// `std::vector<nas::GumbelCategorical> phis_;` -> {std, vector, nas,
+// GumbelCategorical}), which is how ser-field-coverage resolves member types
+// to model classes without a real type system.
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> type_idents;
+  bool is_static = false;
+  bool is_const = false;      // const or constexpr
+  bool is_reference = false;  // reference members rebind, never serialize
+};
+
+// One class/struct/union definition (not a forward declaration).
+struct ClassModel {
+  std::string name;
+  int line = 0;
+  bool has_save = false;  // declares save_state at class scope
+  bool has_load = false;  // declares load_state at class scope
+  bool has_methods = false;  // any member function declared/defined
+  std::vector<FieldDecl> fields;
+};
+
+// A mutex expression as written at a lock-acquisition site, reduced to its
+// base identifier chain: `shards_[i]->mu` -> {shards_, mu}; a call
+// expression `global_pool_mu()` -> {global_pool_mu} with is_call set.
+// Canonicalization to a repo-wide lock name needs the cross-TU field index
+// and happens in the graph phase (lock_order.cc).
+struct MutexRef {
+  std::vector<std::string> chain;
+  bool is_call = false;
+};
+
+// Lock order observed inside one function: `from` was held when `to` was
+// acquired. `line` is the acquisition line of `to`.
+struct RawLockEdge {
+  MutexRef from;
+  MutexRef to;
+  int line = 0;
+};
+
+// One function body's concurrency-relevant facts.
+struct FunctionModel {
+  std::string name;        // unqualified
+  std::string class_name;  // enclosing class or out-of-line qualifier; ""
+  int line = 0;
+  std::vector<RawLockEdge> lock_edges;
+  // A raw fork()/vfork() call issued while `first` was held (line = call).
+  std::vector<std::pair<MutexRef, int>> fork_while_locked;
+};
+
+// A quoted #include directive ("module/file.h" style).
+struct IncludeEdge {
+  std::string target;
+  int line = 0;
+};
+
+// The identifier set of one save_state/load_state body, keyed by the class
+// it belongs to (inline definition or out-of-line `Class::save_state`).
+struct SerBody {
+  std::string class_name;
+  bool is_save = false;  // save_state vs load_state
+  int line = 0;
+  std::set<std::string> idents;
+};
+
+struct FileModel {
+  std::string path;    // repo-relative, forward slashes
+  std::string module;  // "tensor" for src/tensor/...; "" outside src/
+  LexedFile lex;
+  ScopeInfo scopes;
+  std::vector<IncludeEdge> includes;
+  std::vector<ClassModel> classes;
+  std::vector<FunctionModel> functions;
+  std::vector<SerBody> ser_bodies;
+};
+
+// Lexes `source` and extracts the full model as if the file lived at the
+// repo-relative `path`. Pure; safe to call concurrently from pool workers.
+FileModel build_file_model(const std::string& path, const std::string& source);
+
+// True when a finding of `rule` at `line` is silenced by an inline
+// `// A3CS_LINT(rule)` marker recorded in `lex`.
+bool is_suppressed(const LexedFile& lex, int line, const std::string& rule);
+
+}  // namespace a3cs_lint

@@ -1,0 +1,149 @@
+#include "report.h"
+
+#include <string>
+
+namespace a3cs_lint {
+namespace {
+
+void append_escaped(const std::string& s, std::string* out) {
+  for (const char ch : s) {
+    const unsigned char u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (u < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          *out += "\\u00";
+          *out += hex[u >> 4];
+          *out += hex[u & 0xF];
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+// Minimal cursor over the exact byte shape render_json produces.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool literal(const char* s) {
+    const std::size_t len = std::char_traits<char>::length(s);
+    if (text.compare(pos, len, s) != 0) return false;
+    pos += len;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (!literal("\"")) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char ch = text[pos++];
+      if (ch == '"') return true;
+      if (ch != '\\') {
+        *out += ch;
+        continue;
+      }
+      if (pos >= text.size()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return false;
+          int code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else return false;
+          }
+          if (code > 0xFF) return false;  // we only ever emit control chars
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool number(long* out) {
+    std::size_t end = pos;
+    while (end < text.size() && text[end] >= '0' && text[end] <= '9') ++end;
+    if (end == pos) return false;
+    *out = std::stol(text.substr(pos, end - pos));
+    pos = end;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string render_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned) {
+  std::string out = "{\"schema\":\"";
+  out += kJsonSchema;
+  out += "\",\"files\":";
+  out += std::to_string(files_scanned);
+  out += ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"path\":\"";
+    append_escaped(f.path, &out);
+    out += "\",\"line\":";
+    out += std::to_string(f.line);
+    out += ",\"rule\":\"";
+    append_escaped(f.rule, &out);
+    out += "\",\"message\":\"";
+    append_escaped(f.message, &out);
+    out += "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool parse_json(const std::string& text, std::vector<Finding>* findings,
+                std::size_t* files_scanned) {
+  findings->clear();
+  Cursor c{text};
+  std::string schema;
+  long files = 0;
+  if (!c.literal("{\"schema\":") || !c.string(&schema) ||
+      schema != kJsonSchema || !c.literal(",\"files\":") ||
+      !c.number(&files) || !c.literal(",\"findings\":[")) {
+    return false;
+  }
+  if (files_scanned) *files_scanned = static_cast<std::size_t>(files);
+  if (!c.literal("]")) {
+    for (;;) {
+      Finding f;
+      long line = 0;
+      if (!c.literal("{\"path\":") || !c.string(&f.path) ||
+          !c.literal(",\"line\":") || !c.number(&line) ||
+          !c.literal(",\"rule\":") || !c.string(&f.rule) ||
+          !c.literal(",\"message\":") || !c.string(&f.message) ||
+          !c.literal("}")) {
+        return false;
+      }
+      f.line = static_cast<int>(line);
+      findings->push_back(std::move(f));
+      if (c.literal(",")) continue;
+      if (c.literal("]")) break;
+      return false;
+    }
+  }
+  return c.literal("}\n") && c.pos == text.size();
+}
+
+}  // namespace a3cs_lint

@@ -1,0 +1,30 @@
+// Machine-readable findings output for a3cs_lint --json.
+//
+// The schema is versioned ("a3cs-lint/1") and the rendering is byte-stable:
+// findings are emitted in the order given (the driver sorts them), keys are
+// in a fixed order, and strings are escaped deterministically — so CI can
+// diff two runs' JSON as bytes, exactly like the text report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace a3cs_lint {
+
+inline constexpr const char* kJsonSchema = "a3cs-lint/1";
+
+// {"schema":"a3cs-lint/1","files":N,"findings":[{"path":...,"line":N,
+// "rule":...,"message":...},...]} with a trailing newline.
+std::string render_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned);
+
+// Strict parser for exactly the shape render_json emits (the round-trip
+// contract): returns false on any structural mismatch. `files_scanned` may
+// be null.
+bool parse_json(const std::string& text, std::vector<Finding>* findings,
+                std::size_t* files_scanned);
+
+}  // namespace a3cs_lint

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "lexer.h"
+#include "model.h"
 
 namespace a3cs_lint {
 namespace {
@@ -39,184 +40,9 @@ bool is_sio_file(const std::string& p) {
   return p == "src/util/state_io.h" || p == "src/util/state_io.cc";
 }
 
-// ------------------------------------------------------------ scope walker --
-
-// Per-token structural context, computed in one pass. Keeps the rule bodies
-// to honest token matching instead of each re-deriving brace structure.
-struct ScopeInfo {
-  // Token i sits at namespace/file scope (not inside class/function/enum).
-  std::vector<bool> at_ns_scope;
-  // Token i sits inside a function or plain block body.
-  std::vector<bool> in_function;
-  // Token i sits inside the body of a serialization function
-  // (save_state/load_state/save_params/load_params/encode/serialize).
-  std::vector<bool> in_ser_fn;
-  // Token i is a direct class member position (innermost scope is a class).
-  std::vector<bool> at_class_scope;
-
-  struct ClassSpan {
-    std::string name;
-    int line = 0;
-    bool has_save = false;
-    bool has_load = false;
-  };
-  std::vector<ClassSpan> classes;
-};
-
-bool is_ser_fn_name(const std::string& s) {
-  return s == "save_state" || s == "load_state" || s == "save_params" ||
-         s == "load_params" || s == "encode" || s == "serialize";
-}
-
-ScopeInfo walk_scopes(const std::vector<Token>& toks) {
-  enum Kind { kNamespace, kClass, kEnum, kFn, kSerFn, kBlock };
-  struct Open {
-    Kind kind;
-    int class_index = -1;  // into ScopeInfo::classes when kind == kClass
-  };
-
-  ScopeInfo info;
-  const std::size_t n = toks.size();
-  info.at_ns_scope.assign(n, false);
-  info.in_function.assign(n, false);
-  info.in_ser_fn.assign(n, false);
-  info.at_class_scope.assign(n, false);
-
-  // Pre-classify braces opened by class/struct/enum/namespace heads and by
-  // serialization-function definitions: token index of '{' -> kind.
-  std::map<std::size_t, Kind> brace_kind;
-  auto is_punct = [&](std::size_t i, const char* p) {
-    return i < n && toks[i].kind == TokKind::kPunct && toks[i].text == p;
-  };
-  auto is_ident = [&](std::size_t i) {
-    return i < n && toks[i].kind == TokKind::kIdent;
-  };
-
-  std::map<std::size_t, std::pair<std::string, int>> class_heads;  // '{' -> name,line
-  for (std::size_t i = 0; i < n; ++i) {
-    if (toks[i].kind != TokKind::kIdent) continue;
-    const std::string& t = toks[i].text;
-
-    if (t == "namespace") {
-      // namespace [name[::name]] { ...   (alias form ends in ';')
-      std::size_t j = i + 1;
-      while (j < n && (is_ident(j) || is_punct(j, "::"))) ++j;
-      if (is_punct(j, "{")) brace_kind[j] = kNamespace;
-    } else if (t == "enum") {
-      std::size_t j = i + 1;
-      if (is_ident(j) && (toks[j].text == "class" || toks[j].text == "struct"))
-        ++j;
-      if (is_ident(j)) ++j;               // enum name
-      if (is_punct(j, ":")) {             // underlying type
-        ++j;
-        while (j < n && (is_ident(j) || is_punct(j, "::"))) ++j;
-      }
-      if (is_punct(j, "{")) brace_kind[j] = kEnum;
-    } else if (t == "class" || t == "struct" || t == "union") {
-      if (i > 0 && is_ident(i - 1) && toks[i - 1].text == "enum") continue;
-      std::size_t j = i + 1;
-      std::string name;
-      if (is_ident(j)) {
-        name = toks[j].text;
-        ++j;
-        if (is_ident(j) && toks[j].text == "final") ++j;
-      }
-      if (is_punct(j, "{")) {
-        brace_kind[j] = kClass;
-        class_heads[j] = {name, toks[i].line};
-      } else if (is_punct(j, ":")) {
-        // Base-clause: scan to the first '{' or ';' outside parens/angles
-        // opened here. Angle depth guards Base<int> in the clause.
-        int angle = 0, paren = 0;
-        for (++j; j < n; ++j) {
-          const Token& tk = toks[j];
-          if (tk.kind != TokKind::kPunct) continue;
-          if (tk.text == "<") ++angle;
-          else if (tk.text == ">") angle = std::max(0, angle - 1);
-          else if (tk.text == "(") ++paren;
-          else if (tk.text == ")") --paren;
-          else if (tk.text == "{" && angle == 0 && paren == 0) {
-            brace_kind[j] = kClass;
-            class_heads[j] = {name, toks[i].line};
-            break;
-          } else if (tk.text == ";" && angle == 0 && paren == 0) {
-            break;
-          }
-        }
-      }
-      // `class T` in template parameter lists is followed by ',' or '>' and
-      // is left unclassified on purpose.
-    } else if (is_ser_fn_name(t) && is_punct(i + 1, "(")) {
-      // save_state(...) [const] [noexcept] [final] [override] { body }
-      int paren = 0;
-      std::size_t j = i + 1;
-      for (; j < n; ++j) {
-        if (is_punct(j, "(")) ++paren;
-        else if (is_punct(j, ")") && --paren == 0) { ++j; break; }
-      }
-      while (j < n && is_ident(j) &&
-             (toks[j].text == "const" || toks[j].text == "noexcept" ||
-              toks[j].text == "final" || toks[j].text == "override")) {
-        ++j;
-      }
-      if (is_punct(j, "{")) brace_kind[j] = kSerFn;
-    }
-  }
-
-  std::vector<Open> stack;
-  for (std::size_t i = 0; i < n; ++i) {
-    // Record context flags for this token (before handling its own brace).
-    bool ns = true, in_fn = false, in_ser = false;
-    for (const Open& o : stack) {
-      if (o.kind != kNamespace) ns = false;
-      if (o.kind == kFn || o.kind == kSerFn || o.kind == kBlock) in_fn = true;
-      if (o.kind == kSerFn) in_ser = true;
-    }
-    info.at_ns_scope[i] = ns;
-    info.in_function[i] = in_fn;
-    info.in_ser_fn[i] = in_ser;
-    info.at_class_scope[i] =
-        !stack.empty() && stack.back().kind == kClass;
-
-    if (toks[i].kind == TokKind::kPunct) {
-      if (toks[i].text == "{") {
-        Open o;
-        const auto it = brace_kind.find(i);
-        if (it != brace_kind.end()) {
-          o.kind = it->second;
-          if (o.kind == kClass) {
-            const auto& [name, line] = class_heads[i];
-            o.class_index = static_cast<int>(info.classes.size());
-            info.classes.push_back({name, line, false, false});
-          }
-        } else {
-          // Unclassified braces after ')' open function bodies; everything
-          // else (initializer lists, lambdas, compound statements) is a
-          // plain block — both count as "inside a function" for the rules.
-          o.kind = (i > 0 && is_punct(i - 1, ")")) ? kFn : kBlock;
-        }
-        stack.push_back(o);
-      } else if (toks[i].text == "}") {
-        if (!stack.empty()) stack.pop_back();
-      }
-      continue;
-    }
-
-    // ser-pair bookkeeping: a save_state/load_state member declared directly
-    // at class scope (not a call inside an inline method body).
-    if (toks[i].kind == TokKind::kIdent && info.at_class_scope[i] &&
-        is_punct(i + 1, "(")) {
-      if (!stack.empty() && stack.back().class_index >= 0) {
-        auto& cls = info.classes[stack.back().class_index];
-        if (toks[i].text == "save_state") cls.has_save = true;
-        if (toks[i].text == "load_state") cls.has_load = true;
-      }
-    }
-  }
-  return info;
-}
-
 // ------------------------------------------------------------ rule helpers --
+// (The scope walker itself lives in model.cc — rules consume the ScopeInfo
+// carried by the FileModel.)
 
 struct Ctx {
   const std::string& path;
@@ -726,12 +552,9 @@ void rule_hyg_using_namespace(const Ctx& c) {
 
 // ------------------------------------------------------------------ driver --
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& source) {
-  const LexedFile lexed = lex(source);
-  const ScopeInfo scopes = walk_scopes(lexed.tokens);
+std::vector<Finding> lint_file_model(const FileModel& model) {
   std::vector<Finding> all;
-  const Ctx ctx{path, lexed, scopes, &all};
+  const Ctx ctx{model.path, model.lex, model.scopes, &all};
 
   rule_arch_intrinsics_scoped(ctx);
   rule_det_rand(ctx);
@@ -750,11 +573,7 @@ std::vector<Finding> lint_source(const std::string& path,
 
   std::vector<Finding> kept;
   for (auto& f : all) {
-    const auto it = lexed.suppressions.find(f.line);
-    if (it != lexed.suppressions.end() &&
-        (it->second.count(f.rule) || it->second.count("all"))) {
-      continue;
-    }
+    if (is_suppressed(model.lex, f.line, f.rule)) continue;
     kept.push_back(std::move(f));
   }
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
@@ -763,11 +582,22 @@ std::vector<Finding> lint_source(const std::string& path,
   return kept;
 }
 
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source) {
+  return lint_file_model(build_file_model(path, source));
+}
+
 std::vector<std::pair<std::string, std::string>> rule_catalog() {
   return {
       {"arch-intrinsics-scoped",
        "SIMD intrinsics (<immintrin.h>, _mm*/__m*) outside "
        "src/tensor/backend/"},
+      {"arch-layering",
+       "src/ include that violates the declared layer DAG "
+       "(tools/a3cs_lint/layers.txt) or forms a module cycle"},
+      {"conc-lock-order",
+       "mutex pair acquired in conflicting orders across the repo, or a "
+       "lock held across fork() in src/fleet/"},
       {"conc-mutable-global",
        "mutable namespace-scope variable in src/ without atomic/mutex type"},
       {"conc-raw-process",
@@ -788,6 +618,9 @@ std::vector<std::pair<std::string, std::string>> rule_catalog() {
        "clock read inside numeric code (tensor/nn/nas/rl/das/accel/arcade)"},
       {"hyg-pragma-once", "header does not start with #pragma once"},
       {"hyg-using-namespace", "using-namespace directive in a header"},
+      {"ser-field-coverage",
+       "data member of a save_state/load_state class missing from either "
+       "body"},
       {"ser-layout-fingerprint",
        "src/ckpt/section_file.h changed without a kCkptFormatVersion bump"},
       {"ser-pair", "class declares save_state xor load_state"},

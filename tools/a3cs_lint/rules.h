@@ -7,6 +7,14 @@
 // Rule ids (stable; used by inline suppressions and the baseline file):
 //   arch-intrinsics-scoped  SIMD intrinsics (<immintrin.h>, _mm*/__m*)
 //                           outside src/tensor/backend/
+//   arch-layering           src/ include violating the declared layer DAG
+//                           (tools/a3cs_lint/layers.txt) or a module cycle
+//                           [cross-TU, graph phase]
+//   conc-lock-order         mutex pair acquired in conflicting orders across
+//                           TUs, or a lock held across fork() in src/fleet/
+//                           [cross-TU, graph phase]
+//   ser-field-coverage      data member of a save_state/load_state class
+//                           missing from either body [cross-TU, graph phase]
 //   det-rand                rand()/srand()/std::random_device outside src/util/
 //   det-time-seed           RNG seeds derived from wall clocks/counters
 //   det-wall-clock          any clock in numeric code (tensor/nn/nas/rl/das/
@@ -40,6 +48,8 @@
 
 namespace a3cs_lint {
 
+struct FileModel;
+
 struct Finding {
   std::string path;
   int line = 0;
@@ -47,11 +57,17 @@ struct Finding {
   std::string message;
 };
 
-// Runs every path-applicable rule over `source` as if it lived at the
-// repo-relative `path` (forward slashes). Inline A3CS_LINT suppressions are
-// already applied; baseline filtering is the driver's job.
+// Runs every path-applicable per-file rule over `source` as if it lived at
+// the repo-relative `path` (forward slashes). Inline A3CS_LINT suppressions
+// are already applied; baseline filtering is the driver's job. The cross-TU
+// families (arch-layering, conc-lock-order, ser-field-coverage) need the
+// whole tree and run in the graph phase — see graph.h.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& source);
+
+// Same, over an already-built model (the parallel driver path: models are
+// built on pool workers, rules consume them without re-lexing).
+std::vector<Finding> lint_file_model(const FileModel& model);
 
 // {rule-id, one-line description} for every rule, sorted by id.
 std::vector<std::pair<std::string, std::string>> rule_catalog();

@@ -1,0 +1,177 @@
+// ser-field-coverage: every data member of a class with a
+// save_state/load_state pair must be mentioned in *both* bodies (the
+// add-a-field-forget-to-serialize bug), and so must the members of plain
+// aggregates such a class stores — the fields the layout fingerprint only
+// protects for section_file.h itself.
+//
+// "Mentioned" is identifier presence in the body's token set: delegation
+// (`opt_.save_state(w)`), helper calls (`put_hw_eval(best_seen_eval_, ...)`)
+// and direct writes all count. Static, const/constexpr and reference
+// members are exempt (not round-trip state). Deliberately unsaved members
+// carry an inline `// A3CS_LINT(ser-field-coverage)` at the declaration.
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+
+#include "graph.h"
+
+namespace a3cs_lint {
+namespace {
+
+constexpr const char* kRule = "ser-field-coverage";
+
+struct ClassSite {
+  const FileModel* file = nullptr;
+  const ClassModel* cls = nullptr;
+};
+
+// A body's merged identifier set (a class may define save_state inline in
+// the header of one TU and helpers out-of-line — all bodies of the same
+// (class, kind) in scope contribute).
+struct Bodies {
+  std::set<std::string> save, load;
+  bool has_save = false, has_load = false;
+};
+
+// Prefer bodies from the declaring file, then its module, then anywhere —
+// same-name classes in different modules must not cross-match.
+Bodies collect_bodies(const std::vector<FileModel>& files,
+                      const ClassSite& site) {
+  Bodies out;
+  auto scan = [&](auto pred) {
+    for (const FileModel& f : files) {
+      if (!pred(f)) continue;
+      for (const SerBody& b : f.ser_bodies) {
+        if (b.class_name != site.cls->name) continue;
+        if (b.is_save) {
+          out.save.insert(b.idents.begin(), b.idents.end());
+          out.has_save = true;
+        } else {
+          out.load.insert(b.idents.begin(), b.idents.end());
+          out.has_load = true;
+        }
+      }
+    }
+  };
+  scan([&](const FileModel& f) { return f.path == site.file->path; });
+  if (!out.has_save || !out.has_load) {
+    scan([&](const FileModel& f) {
+      return f.path != site.file->path && f.module == site.file->module;
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> check_ser_coverage(const std::vector<FileModel>& files) {
+  std::vector<Finding> out;
+
+  // name -> declaration sites (src/ only; tests build deliberate fakes).
+  std::multimap<std::string, ClassSite> class_index;
+  for (const FileModel& f : files) {
+    if (f.module.empty()) continue;
+    for (const ClassModel& cls : f.classes) {
+      if (!cls.name.empty()) class_index.emplace(cls.name, ClassSite{&f, &cls});
+    }
+  }
+
+  // Resolve a member's type to a plain aggregate (no methods, no own
+  // save/load pair) declared in `module`; nullptr when it isn't one.
+  auto resolve_aggregate = [&](const std::vector<std::string>& type_idents,
+                               const std::string& module) -> ClassSite {
+    if (type_idents.empty()) return {};
+    auto [lo, hi] = class_index.equal_range(type_idents.back());
+    const ClassSite* best = nullptr;
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.file->module != module) continue;
+      if (best) return {};  // ambiguous within the module: stay silent
+      best = &it->second;
+    }
+    if (!best) return {};
+    const ClassModel& cls = *best->cls;
+    if (cls.has_methods || cls.has_save || cls.has_load) return {};
+    return *best;
+  };
+
+  for (const FileModel& f : files) {
+    if (f.module.empty()) continue;
+    for (const ClassModel& cls : f.classes) {
+      if (!cls.has_save || !cls.has_load || cls.name.empty()) continue;
+      const ClassSite root{&f, &cls};
+      const Bodies bodies = collect_bodies(files, root);
+      // Declared-only pairs (interfaces, fixtures without bodies in scope)
+      // can't be checked; ser-pair already guards declaration symmetry.
+      if (!bodies.has_save || !bodies.has_load) continue;
+
+      // Walk the root class plus plain aggregates reachable through
+      // serialized members, checking every field against the root bodies.
+      std::set<std::string> visited{cls.name};
+      std::vector<ClassSite> work{root};
+      while (!work.empty()) {
+        const ClassSite cur = work.back();
+        work.pop_back();
+        for (const FieldDecl& field : cur.cls->fields) {
+          if (field.is_static || field.is_const || field.is_reference) {
+            continue;
+          }
+          const bool in_save = bodies.save.count(field.name) > 0;
+          const bool in_load = bodies.load.count(field.name) > 0;
+          if (!in_save || !in_load) {
+            const char* which = (!in_save && !in_load) ? "save_state or "
+                                                         "load_state"
+                                : !in_save ? "save_state"
+                                           : "load_state";
+            out.push_back(
+                {cur.file->path, field.line, kRule,
+                 "field " + cur.cls->name + "::" + field.name +
+                     " is never mentioned in " + which + " of " + cls.name +
+                     " — serialize it or suppress with a justification"});
+            continue;
+          }
+          const ClassSite agg =
+              resolve_aggregate(field.type_idents, cur.file->module);
+          if (agg.cls && !visited.count(agg.cls->name)) {
+            visited.insert(agg.cls->name);
+            work.push_back(agg);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- lint_tree ---
+
+std::vector<Finding> lint_tree(const std::vector<FileModel>& files,
+                               const std::string& layers_text) {
+  std::vector<Finding> all = check_layering(files, layers_text);
+  {
+    std::vector<Finding> more = check_lock_order(files);
+    all.insert(all.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+    more = check_ser_coverage(files);
+    all.insert(all.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  }
+
+  std::map<std::string, const LexedFile*> lex_of;
+  for (const FileModel& f : files) lex_of[f.path] = &f.lex;
+
+  std::vector<Finding> kept;
+  for (Finding& f : all) {
+    const auto it = lex_of.find(f.path);
+    if (it != lex_of.end() && is_suppressed(*it->second, f.line, f.rule)) {
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule, a.message) <
+           std::tie(b.path, b.line, b.rule, b.message);
+  });
+  return kept;
+}
+
+}  // namespace a3cs_lint
